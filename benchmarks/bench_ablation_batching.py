@@ -1,0 +1,65 @@
+"""Ablation — batching disciplines (paper Fig. 2b, quantified).
+
+Runs the same request stream through no-batching, static batching and
+continuous batching on the ADOR design and reports the QoS/throughput
+trade each discipline makes.
+"""
+
+import copy
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.scheduling import AdorDeviceModel
+from repro.hardware.presets import ador_table3
+from repro.models.zoo import get_model
+from repro.serving.dataset import ULTRACHAT_LIKE
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.policies import BatchingPolicy, simulate_policy
+from repro.serving.qos import compute_qos
+
+RATE = 6.0
+COUNT = 48
+
+
+def _compare():
+    model = get_model("llama3-8b")
+    device = AdorDeviceModel(ador_table3())
+    rng = np.random.default_rng(23)
+    requests = PoissonRequestGenerator(ULTRACHAT_LIKE, RATE, rng).generate(COUNT)
+    rows = []
+    outcomes = {}
+    for policy in BatchingPolicy:
+        result = simulate_policy(policy, device, model,
+                                 copy.deepcopy(requests), batch_size=32)
+        qos = compute_qos(result.finished, result.total_time_s)
+        rows.append([
+            policy.value,
+            qos.ttft_p95_s * 1e3,
+            qos.tbt_mean_s * 1e3,
+            qos.tokens_per_s,
+            result.total_time_s,
+        ])
+        outcomes[policy] = qos
+    return rows, outcomes
+
+
+def test_ablation_batching_policies(benchmark, report):
+    rows, outcomes = run_once(benchmark, _compare)
+    report("ablation_batching", format_table(
+        ["policy", "TTFT p95 (ms)", "TBT mean (ms)", "tokens/s",
+         "makespan (s)"],
+        rows,
+        title=f"Ablation (Fig. 2b): batching disciplines, LLaMA3-8B on "
+              f"ADOR, {RATE} req/s",
+    ))
+    no_batch = outcomes[BatchingPolicy.NO_BATCHING]
+    static = outcomes[BatchingPolicy.STATIC]
+    continuous = outcomes[BatchingPolicy.CONTINUOUS]
+    # continuous batching: highest throughput, best tail TTFT
+    assert continuous.tokens_per_s >= 0.95 * max(
+        no_batch.tokens_per_s, static.tokens_per_s)
+    assert continuous.ttft_p95_s <= static.ttft_p95_s
+    # no batching queues: far worse tail TTFT than continuous
+    assert no_batch.ttft_p95_s > 2 * continuous.ttft_p95_s

@@ -1,0 +1,58 @@
+"""Extension — power and energy-per-token across designs.
+
+Fig. 9 lists a power budget among ADOR's vendor inputs and Table I
+records TDPs; this bench reports decode power and energy per generated
+token for every Table III design, the vendor-side economics beyond die
+area.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.scheduling import device_model_for
+from repro.hardware.power import PowerModel
+from repro.hardware.presets import ader_reference_designs
+from repro.models.kv_cache import kv_cache_bytes
+from repro.models.zoo import get_model
+
+BATCH = 128
+SEQ = 1024
+
+
+def _power_rows():
+    model = get_model("llama3-8b")
+    pm = PowerModel()
+    step_flops = 2.0 * BATCH * model.active_params_per_token
+    step_bytes = model.active_param_bytes_per_token \
+        + kv_cache_bytes(model, BATCH, SEQ)
+    rows = []
+    for name, chip in ader_reference_designs().items():
+        device = device_model_for(chip)
+        step = device.decode_step_time(model, BATCH, SEQ).seconds
+        energy = pm.workload_energy(chip, step, step_flops, step_bytes)
+        rows.append([
+            name,
+            pm.tdp_w(chip),
+            energy.total / step,
+            energy.total / BATCH * 1e3,
+            BATCH / step / (energy.total / step),
+        ])
+    return rows
+
+
+def test_ablation_power(benchmark, report):
+    rows = run_once(benchmark, _power_rows)
+    report("ablation_power", format_table(
+        ["design", "TDP (W)", "decode power (W)", "energy/token (mJ)",
+         "tokens/joule"],
+        rows,
+        title="Extension: decode power & energy per token, LLaMA3-8B, "
+              "batch 128",
+    ))
+    by_name = {row[0]: row for row in rows}
+    # same work, less time: ADOR burns the same stream energy faster and
+    # wastes the least static energy per token
+    assert by_name["ADOR"][3] == min(row[3] for row in rows)
+    # every design's decode power stays under its TDP estimate
+    for row in rows:
+        assert row[2] < row[1] * 1.05, row[0]

@@ -1,0 +1,65 @@
+"""Extension — the ADOR design space as a Pareto study (Fig. 1 right).
+
+Sweeps the template's systolic-array geometry and core count, evaluates
+each candidate's TTFT (latency axis), TBT (throughput axis) and die
+area, extracts the latency/throughput/area Pareto frontier, and checks
+that the paper's Table III choice sits on it at the balanced optimum.
+"""
+
+from conftest import run_once
+
+from repro.analysis.pareto import (
+    normalized_distance_to_utopia,
+    pareto_frontier,
+)
+from repro.analysis.tables import format_table
+from repro.core.requirements import SearchRequest, ServiceLevelObjectives
+from repro.core.search import AdorSearch
+
+SLOS = ServiceLevelObjectives(ttft_slo_s=10.0, tbt_slo_s=10.0,
+                              batch_size=128, seq_len=1024)
+
+
+def _design_space():
+    # run one enumeration pass of the search with non-binding SLOs so
+    # every candidate is evaluated and reported
+    search = AdorSearch(SearchRequest(model_names=("llama3-8b",), slos=SLOS))
+    result = search.run(max_iterations=1)
+    points = []
+    for candidate in result.candidates:
+        evaluation = candidate.evaluations[0]
+        points.append({
+            "name": candidate.chip.name,
+            "ttft_ms": evaluation.ttft_s * 1e3,
+            "tbt_ms": evaluation.tbt_s * 1e3,
+            "area_mm2": candidate.area_mm2,
+        })
+    frontier = pareto_frontier(
+        points, lambda p: (p["ttft_ms"], p["tbt_ms"], p["area_mm2"]))
+    vectors = [(p["ttft_ms"], p["tbt_ms"], p["area_mm2"]) for p in frontier]
+    for point in points:
+        point["on_frontier"] = point in frontier
+        if point["on_frontier"]:
+            point["utopia_distance"] = normalized_distance_to_utopia(
+                (point["ttft_ms"], point["tbt_ms"], point["area_mm2"]),
+                vectors)
+    return points, frontier
+
+
+def test_design_space_pareto(benchmark, report):
+    points, frontier = run_once(benchmark, _design_space)
+    rows = [[p["name"], p["ttft_ms"], p["tbt_ms"], p["area_mm2"],
+             "yes" if p["on_frontier"] else ""]
+            for p in sorted(points, key=lambda p: p["area_mm2"])]
+    report("design_space_pareto", format_table(
+        ["candidate", "TTFT (ms)", "TBT (ms)", "area (mm2)", "frontier"],
+        rows,
+        title="Extension: ADOR template design space and its Pareto "
+              "frontier (LLaMA3-8B, batch 128)",
+    ))
+    table3 = next(p for p in points if "64x64x32c" in p["name"])
+    assert table3["on_frontier"], "Table III's choice must be non-dominated"
+    # and it is among the most balanced frontier designs
+    balanced = sorted((p for p in frontier), key=lambda p: p["utopia_distance"])
+    top = [p["name"] for p in balanced[:max(3, len(balanced) // 3)]]
+    assert table3["name"] in top, top

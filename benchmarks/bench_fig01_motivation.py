@@ -1,0 +1,89 @@
+"""Fig. 1 — the motivation: QoS vs. batch size on GPUs, and the
+latency/throughput design space.
+
+Panel 1: TTFT and TBT for Mixtral-8x7B on 8x A100 as batch grows — the
+paper's illustration that batching erodes QoS.  Panel 2: the design
+space scatter (query latency vs. per-device throughput) locating the
+throughput-oriented (TPU), latency-oriented (TSP) and balanced (ADOR)
+regions.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.scheduling import device_model_for
+from repro.hardware.area import AreaModel
+from repro.hardware.presets import (
+    a100,
+    ador_table3,
+    groq_tsp,
+    h100,
+    tpu_v4,
+)
+from repro.models.zoo import get_model
+
+BATCHES = (1, 16, 32, 64, 128, 256)
+SEQ = 1024
+
+
+def _mixtral_qos():
+    model = get_model("mixtral-8x7b")
+    gpu = device_model_for(a100())
+    rows = []
+    for batch in BATCHES:
+        prefill = gpu.prefill_time(model, batch, SEQ, num_devices=8)
+        decode = gpu.decode_step_time(model, batch, SEQ, num_devices=8)
+        rows.append([batch, prefill.seconds * 1e3, 1.0 / decode.seconds,
+                     decode.seconds * 1e3])
+    return rows
+
+
+def test_fig1_mixtral_batching_qos(benchmark, report):
+    rows = run_once(benchmark, _mixtral_qos)
+    report("fig01_mixtral_qos", format_table(
+        ["batch", "TTFT (ms)", "TBT (tok/s)", "decode step (ms)"],
+        rows,
+        title="Fig. 1 (left): Mixtral-8x7B on 8x A100, seq 1024 — "
+              "batching degrades TTFT and TBT",
+    ))
+    ttfts = [row[1] for row in rows]
+    tbts = [row[2] for row in rows]
+    assert ttfts == sorted(ttfts), "TTFT must grow with batch"
+    assert tbts == sorted(tbts, reverse=True), "TBT must degrade with batch"
+
+
+def _design_space():
+    model = get_model("llama3-8b")
+    points = []
+    for chip, devices in ((a100(), 1), (h100(), 1), (tpu_v4(), 1),
+                          (groq_tsp(), 88), (ador_table3(), 1)):
+        device = device_model_for(chip)
+        latency = device.decode_step_time(model, 1, SEQ, devices).seconds
+        batch = 128
+        if hasattr(device, "max_kv_batch"):
+            # the TSP's SRAM caps how many requests' KV it can hold
+            batch = min(batch, device.max_kv_batch(model, SEQ, devices))
+        batched = device.decode_step_time(model, batch, SEQ, devices).seconds
+        throughput = batch / batched / devices
+        area = AreaModel().die_area_mm2(chip)
+        points.append([chip.name, latency * 1e3, throughput,
+                       throughput / area])
+    return points
+
+
+def test_fig1_design_space(benchmark, report):
+    points = run_once(benchmark, _design_space)
+    report("fig01_design_space", format_table(
+        ["device", "query latency (ms/token)", "throughput (tok/s/device)",
+         "tok/s/mm2"],
+        points,
+        title="Fig. 1 (right): the serving design space — LLaMA3-8B",
+    ))
+    by_name = {p[0]: p for p in points}
+    # TSP: the latency-oriented corner — best latency, worst economics
+    assert by_name["Groq TSP"][1] == min(p[1] for p in points)
+    assert by_name["Groq TSP"][3] == min(p[3] for p in points)
+    # ADOR: strictly better than the A100 on both axes, and the best
+    # throughput per device — the "optimal point for GenAI serving"
+    assert by_name["ADOR Design"][1] < by_name["NVIDIA A100"][1]
+    assert by_name["ADOR Design"][2] == max(p[2] for p in points)

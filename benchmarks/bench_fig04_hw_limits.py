@@ -1,0 +1,82 @@
+"""Fig. 4 — limitations of current serving hardware.
+
+(a) area efficiency (measured prefill GFLOPS per mm^2) for A100, H100,
+TPUv4 and Groq TSP, absolute and normalized to a 4 nm process;
+(b) effective memory bandwidth achieved in decode for four GenAI models
+on GPU/NPU baselines (<60 % of spec).
+"""
+
+from conftest import run_once
+
+from repro.analysis.metrics import (
+    area_efficiency_gflops_mm2,
+    normalized_area_efficiency,
+)
+from repro.analysis.tables import format_table
+from repro.core.scheduling import device_model_for
+from repro.hardware.presets import a100, groq_tsp, h100, tpu_v4
+from repro.models.zoo import get_model
+
+SEQ = 1024
+
+
+def _area_efficiency():
+    model = get_model("llama3-8b")
+    rows = []
+    for chip, devices in ((a100(), 1), (h100(), 1), (tpu_v4(), 1),
+                          (groq_tsp(), 88)):
+        device = device_model_for(chip)
+        throughput = device.prefill_throughput_flops(model, 1, SEQ, devices)
+        rows.append([
+            chip.name,
+            chip.process.label,
+            area_efficiency_gflops_mm2(throughput, chip),
+            normalized_area_efficiency(throughput, chip),
+        ])
+    return rows
+
+
+def test_fig4a_area_efficiency(benchmark, report):
+    rows = run_once(benchmark, _area_efficiency)
+    report("fig04a_area_efficiency", format_table(
+        ["device", "node", "GFLOPS/mm2 (absolute)", "GFLOPS/mm2 (@4nm)"],
+        rows,
+        title="Fig. 4(a): prefill area efficiency, LLaMA3-8B",
+    ))
+    by_name = {row[0]: row for row in rows}
+    # absolute: H100 leads; TSP trails (many low-utilization devices)
+    assert by_name["NVIDIA H100"][2] == max(r[2] for r in rows)
+    assert by_name["Groq TSP"][2] == min(r[2] for r in rows)
+    # normalization helps the 14 nm TSP by exactly 4.712x
+    tsp = by_name["Groq TSP"]
+    assert abs(tsp[3] / tsp[2] - 4.712) < 0.01
+    # the 4 nm H100 gains nothing from normalization
+    h = by_name["NVIDIA H100"]
+    assert abs(h[3] - h[2]) < 1e-6
+
+
+def _effective_bandwidth():
+    rows = []
+    for model_name in ("gptj-6b", "llama2-7b", "llama3-8b", "mistral-7b"):
+        model = get_model(model_name)
+        row = [model_name]
+        for chip in (a100(), h100(), tpu_v4()):
+            device = device_model_for(chip)
+            util = device.decode_bandwidth_utilization(model, 64, SEQ)
+            row.append(100.0 * util)
+        rows.append(row)
+    return rows
+
+
+def test_fig4b_effective_bandwidth(benchmark, report):
+    rows = run_once(benchmark, _effective_bandwidth)
+    report("fig04b_effective_bandwidth", format_table(
+        ["model", "A100 (%)", "H100 (%)", "TPUv4 (%)"],
+        rows,
+        title="Fig. 4(b): decode memory-bandwidth utilization at batch 64 "
+              "(paper: both GPU and TPU below 60 %)",
+    ))
+    for row in rows:
+        gpu_util, h100_util, tpu_util = row[1], row[2], row[3]
+        assert gpu_util < 60.0, f"{row[0]}: GPU must be under 60 %"
+        assert tpu_util < gpu_util, f"{row[0]}: TPU must be worse than GPU"

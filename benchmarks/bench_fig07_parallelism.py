@@ -1,0 +1,75 @@
+"""Fig. 7 — model-parallelism analysis.
+
+(c) per-device synchronization volume vs. device count for all-gather,
+all-reduce and Megatron (all-gather stays flat, all-reduce scales);
+(a) the minimum P2P bandwidth at which decode communication fully
+overlaps — the paper lands on PCIe-class links.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.models.zoo import get_model
+from repro.parallel.collectives import SyncMethod, layer_sync_plan
+from repro.parallel.overlap import (
+    OverlapModel,
+    WorkloadPhase,
+    minimum_p2p_bandwidth,
+)
+
+DEVICES = (1, 2, 4, 8, 16)
+BATCH = 32
+
+
+def _volumes():
+    model = get_model("llama3-8b")
+    tensor = BATCH * model.hidden_size * model.dtype_bytes
+    rows = []
+    for method in SyncMethod:
+        row = [method.value]
+        for devices in DEVICES:
+            plan = layer_sync_plan(method, tensor, devices)
+            row.append(plan.bytes_per_layer / 1e6)
+        rows.append(row)
+    return rows
+
+
+def test_fig7c_sync_volumes(benchmark, report):
+    rows = run_once(benchmark, _volumes)
+    report("fig07c_sync_volumes", format_table(
+        ["method"] + [f"{d} dev (MB)" for d in DEVICES],
+        rows,
+        title="Fig. 7(c): per-device sync volume per decoder layer "
+              "(all-gather flat; all-reduce scales with devices)",
+    ))
+    by_name = {row[0]: row[1:] for row in rows}
+    ag, ar = by_name["all-gather"], by_name["all-reduce"]
+    assert ag[-1] < 2 * ag[1], "all-gather must stay near-constant"
+    assert ar[-1] > 6 * ar[1], "all-reduce must scale with devices"
+    meg = by_name["megatron"]
+    assert ag[-1] < meg[-1] < ar[-1]
+
+
+def _min_p2p():
+    model = get_model("llama3-8b")
+    rows = []
+    for devices in (2, 4, 8, 16):
+        overlap = OverlapModel(model, 2e12, 417e12, WorkloadPhase.DECODE,
+                               batch=BATCH, seq_len=1024)
+        needed = minimum_p2p_bandwidth(overlap, devices,
+                                       efficiency_target=0.95)
+        rows.append([devices, needed / 1e9])
+    return rows
+
+
+def test_fig7a_minimum_p2p(benchmark, report):
+    rows = run_once(benchmark, _min_p2p)
+    report("fig07a_min_p2p", format_table(
+        ["devices", "min P2P bandwidth (GB/s)"],
+        rows,
+        title="Fig. 7(a): minimum P2P bandwidth for full decode overlap "
+              "(paper: ~32-64 GB/s, PCIe class, suffices)",
+    ))
+    # PCIe-class links suffice at every scale the paper considers
+    assert all(row[1] <= 128.0 for row in rows)
+    assert rows[0][1] <= 32.0

@@ -1,0 +1,39 @@
+"""Fig. 12 — peak local-memory usage per layer type.
+
+LLaMA3-8B at batch 32: every layer type but the LM head fits in 1.5 MiB,
+and the LM head peaks near 4 MiB — the data behind ADOR's 2 MiB local
+memory choice (Table III).
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.models.footprint import peak_local_memory
+from repro.models.zoo import get_model
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def _footprint():
+    model = get_model("llama3-8b")
+    report_obj = peak_local_memory(model, batch=32)
+    rows = [[name, bytes_ / KIB]
+            for name, bytes_ in report_obj.as_dict().items()]
+    rows.sort(key=lambda row: row[1])
+    return rows, report_obj
+
+
+def test_fig12_local_memory(benchmark, report):
+    rows, footprint = run_once(benchmark, _footprint)
+    report("fig12_local_memory", format_table(
+        ["layer type", "peak usage (KiB)"],
+        rows,
+        title="Fig. 12: peak local-memory usage, LLaMA3-8B, batch 32 "
+              "(paper: all under 1.5 MiB except the LM head)",
+    ))
+    assert footprint.peak_excluding_lm_head <= 1.5 * MIB
+    assert 3.5 * MIB <= footprint.lm_head <= 4.5 * MIB
+    # the Table III sizing: peak (ex LM head) x 1.25 rounds to 2 MiB
+    sized = footprint.peak_excluding_lm_head * 1.25
+    assert 1 * MIB < sized <= 2 * MIB

@@ -1,0 +1,81 @@
+"""Fig. 13 — tensor-parallel scalability.
+
+(a) latency speedup of all-gather / all-reduce / Megatron over 1-16
+devices at 2 TB/s memory and 128 GB/s P2P (Megatron best at 2 devices,
+all-gather best at 4+, all-reduce saturates);
+(b) speedup vs. P2P bandwidth (16-128 GB/s) for prefill / decode /
+continuous (3:1) workloads — decode overlaps best.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.hardware.interconnect import P2pSpec
+from repro.models.zoo import get_model
+from repro.parallel.collectives import SyncMethod
+from repro.parallel.overlap import OverlapModel, WorkloadPhase
+from repro.parallel.tensor_parallel import tp_scalability_curve
+
+DEVICES = [1, 2, 4, 8, 16]
+P2P_BANDWIDTHS = (16, 32, 64, 128)
+
+
+def _fig13a():
+    model = get_model("llama3-8b")
+    p2p = P2pSpec(128e9)
+    rows = []
+    for method in SyncMethod:
+        curve = tp_scalability_curve(model, 32, 1024, DEVICES, 2e12, p2p,
+                                     method)
+        rows.append([method.value] + curve)
+    return rows
+
+
+def test_fig13a_tp_methods(benchmark, report):
+    rows = run_once(benchmark, _fig13a)
+    report("fig13a_tp_scalability", format_table(
+        ["method"] + [f"{d} dev" for d in DEVICES],
+        rows,
+        title="Fig. 13(a): TP latency speedup, 2 TB/s mem, 128 GB/s P2P",
+    ))
+    by_name = {row[0]: row[1:] for row in rows}
+    ag, ar, meg = (by_name["all-gather"], by_name["all-reduce"],
+                   by_name["megatron"])
+    assert meg[1] >= ag[1], "Megatron must lead at 2 devices"
+    assert ag[3] > meg[3] > ar[3], "all-gather must lead at 8 devices"
+    assert ag[4] > 10.0, "all-gather must keep scaling to 16"
+    assert ar[4] < 8.0, "all-reduce must saturate"
+
+
+def _fig13b():
+    model = get_model("llama3-8b")
+    rows = []
+    for phase in WorkloadPhase:
+        overlap = OverlapModel(model, 2e12, 417e12, phase, batch=8,
+                               seq_len=1024)
+        row = [phase.value]
+        for gbps in P2P_BANDWIDTHS:
+            row.append(overlap.speedup(16, P2pSpec(gbps * 1e9)))
+        rows.append(row)
+    return rows
+
+
+def test_fig13b_p2p_bandwidth(benchmark, report):
+    rows = run_once(benchmark, _fig13b)
+    report("fig13b_p2p_scalability", format_table(
+        ["workload"] + [f"{g} GB/s" for g in P2P_BANDWIDTHS],
+        rows,
+        title="Fig. 13(b): 16-device speedup vs. P2P bandwidth "
+              "(prefill:decode = 3:1 for continuous)",
+    ))
+    by_name = {row[0]: row[1:] for row in rows}
+    decode, prefill = by_name["decode"], by_name["prefill"]
+    # decode overlaps: nearly flat across bandwidths, high everywhere
+    assert decode[0] > 0.85 * decode[-1]
+    # prefill needs bandwidth
+    assert prefill[-1] > 2 * prefill[0]
+    # continuous sits between
+    cont = by_name["continuous"]
+    for i in range(len(P2P_BANDWIDTHS)):
+        assert prefill[i] <= cont[i] + 1e-9
+        assert cont[i] <= decode[i] + 1e-9

@@ -1,0 +1,46 @@
+"""Extension — hybrid TP x PP factorizations for LLaMA3-70B.
+
+Scores every tp x pp factorization of 8 and 16 devices with the TP/PP
+latency models; the paper's Section IV-D conclusion (TP for latency, PP
+adds none) must fall out as the latency-optimal plan being pure TP.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.hardware.interconnect import P2pSpec
+from repro.models.zoo import get_model
+from repro.parallel.hybrid import HybridParallelPlanner
+
+BATCH = 64
+CTX = 1024
+
+
+def _plans():
+    planner = HybridParallelPlanner(get_model("llama3-70b"), 2e12,
+                                    P2pSpec(64e9))
+    rows = []
+    best = {}
+    for devices in (8, 16):
+        for plan in planner.plans(devices, BATCH, CTX):
+            rows.append([
+                devices, f"TP{plan.tp} x PP{plan.pp}",
+                plan.sync_method.value,
+                plan.decode_step_seconds * 1e3,
+                plan.throughput_tokens_per_s,
+            ])
+        best[devices] = planner.best_for_latency(devices, BATCH, CTX)
+    return rows, best
+
+
+def test_hybrid_parallelism(benchmark, report):
+    rows, best = run_once(benchmark, _plans)
+    report("hybrid_parallelism", format_table(
+        ["devices", "plan", "sync", "decode step (ms)", "tokens/s"],
+        rows,
+        title="Extension: hybrid TP x PP plans, LLaMA3-70B, batch 64 "
+              "(64 GB/s P2P)",
+    ))
+    # the paper's conclusion: pure TP is the latency-optimal mapping
+    assert best[8].pp == 1 and best[8].tp == 8
+    assert best[16].pp == 1 and best[16].tp == 16

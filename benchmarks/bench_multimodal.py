@@ -1,0 +1,62 @@
+"""Extension — multimodal GenAI workloads (paper Figs. 2a, 9 inputs).
+
+ADOR's inputs include LMMs and DiT generators.  This bench times the
+LMM pipeline (ViT-L encode + LLaMA3-8B prefill with image tokens) and a
+DiT-XL image generation on the ADOR design vs. the A100.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.scheduling import device_model_for
+from repro.hardware.presets import a100, ador_table3
+from repro.models.multimodal import DitWorkload, LmmWorkload
+from repro.models.zoo import get_model
+
+TEXT_TOKENS = 128
+
+
+def _multimodal():
+    lmm = LmmWorkload.default()
+    dit = DitWorkload.default()
+    rows = []
+    for chip in (ador_table3(), a100()):
+        device = device_model_for(chip)
+        # LMM: encoder pass (prefill-shaped on the encoder config) then
+        # LLM prefill over text + image tokens
+        encode = device.prefill_time(lmm.encoder_workload.encoder, 1,
+                                     lmm.encoder_workload.num_tokens).seconds
+        llm_prefill = device.prefill_time(
+            lmm.llm, 1, lmm.effective_input_tokens(TEXT_TOKENS)).seconds
+        text_only = device.prefill_time(lmm.llm, 1, TEXT_TOKENS).seconds
+        # DiT: sampling_steps denoising passes over the latent tokens
+        dit_step = device.prefill_time(dit.dit, 1, dit.latent_tokens).seconds
+        rows.append([
+            chip.name,
+            encode * 1e3,
+            llm_prefill * 1e3,
+            (encode + llm_prefill) * 1e3,
+            (encode + llm_prefill) / text_only,
+            dit_step * dit.sampling_steps * 1e3,
+        ])
+    return rows
+
+
+def test_multimodal_workloads(benchmark, report):
+    rows = run_once(benchmark, _multimodal)
+    report("multimodal", format_table(
+        ["device", "ViT encode (ms)", "LMM prefill (ms)", "LMM TTFT (ms)",
+         "vs text-only (x)", "DiT image gen (ms)"],
+        rows,
+        title="Extension: multimodal workloads — LMM (ViT-L + LLaMA3-8B, "
+              "1 image + 128 text tokens) and DiT-XL generation",
+    ))
+    ador_row, a100_row = rows
+    # compute-shaped LMM prefill favours the HDA's systolic capacity
+    assert ador_row[3] < a100_row[3]
+    # DiT-XL's narrow 1152-wide layers underutilize the 64x64 arrays, so
+    # ADOR is merely competitive there, not dominant — a genuine finding
+    # about serving-LLM-tuned geometry on non-LLM workloads
+    assert ador_row[5] < 1.3 * a100_row[5]
+    # one image adds substantial prefill: TTFT grows by >2x vs text-only
+    assert ador_row[4] > 2.0

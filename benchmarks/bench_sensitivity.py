@@ -1,0 +1,33 @@
+"""Extension — local sensitivity of the Table III design.
+
+Perturbs each template knob around the proposed chip and reports the
+TTFT / TBT / area response: which resources the serving QoS actually
+depends on (bandwidth, per the paper's thesis) and which are slack (NoC,
+single-device P2P).
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.sensitivity import most_sensitive_knob, sensitivity_table
+from repro.hardware.presets import ador_table3
+from repro.models.zoo import get_model
+
+
+def _table():
+    model = get_model("llama3-8b")
+    rows = sensitivity_table(ador_table3(), model, batch=128, seq_len=1024)
+    return rows
+
+
+def test_sensitivity(benchmark, report):
+    rows = run_once(benchmark, _table)
+    report("sensitivity", format_table(
+        ["knob", "change", "TTFT (%)", "TBT (%)", "area (%)"],
+        [row.as_list() for row in rows],
+        title="Extension: one-knob sensitivity around the Table III "
+              "design (LLaMA3-8B, batch 128)",
+    ))
+    assert most_sensitive_knob(rows, "tbt") == "memory bandwidth"
+    assert most_sensitive_knob(rows, "ttft") in ("systolic array", "cores",
+                                                 "memory bandwidth")

@@ -1,0 +1,52 @@
+"""Table I — analysis of current serving hardware.
+
+Regenerates the spec table from the encoded presets and checks the
+constants the rest of the reproduction depends on.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.hardware.presets import groq_tsp, h100, tpu_v4
+
+GIB = 1024 ** 3
+MIB = 1024 ** 2
+
+
+def _spec_rows():
+    rows = []
+    for chip in (h100(), tpu_v4(), groq_tsp()):
+        rows.append([
+            chip.name,
+            chip.frequency_hz / 1e6,
+            chip.process.label,
+            chip.peak_flops / 1e12,
+            chip.total_sram_bytes / MIB,
+            chip.dram.kind.value,
+            chip.dram.size_bytes / GIB,
+            chip.memory_bandwidth / 1e9,
+            chip.p2p.bandwidth_bytes_per_s / 1e9,
+            chip.tdp_w,
+            chip.die_area_mm2,
+        ])
+    return rows
+
+
+def test_table1_specifications(benchmark, report):
+    rows = run_once(benchmark, _spec_rows)
+    report("table1_specs", format_table(
+        ["device", "freq (MHz)", "node", "peak (TFLOPS)", "SRAM (MiB)",
+         "DRAM", "DRAM (GiB)", "mem BW (GB/s)", "P2P (GB/s)", "TDP (W)",
+         "die (mm2)"],
+        rows,
+        title="Table I: analysis of current serving hardware",
+    ))
+    by_name = {row[0]: row for row in rows}
+    h = by_name["NVIDIA H100"]
+    assert h[3] == 1000.0 and h[10] == 814.0
+    t = by_name["Google TPUv4"]
+    assert t[3] == 275.0 and t[10] == 400.0
+    g = by_name["Groq TSP"]
+    assert g[3] == 205.0 and g[10] == 725.0
+    # the TSP's "memory" is its on-chip SRAM at 80 TB/s
+    assert g[7] == 80000.0

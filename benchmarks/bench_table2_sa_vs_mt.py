@@ -1,0 +1,73 @@
+"""Table II — key features of systolic array vs. MAC tree, quantified.
+
+The paper's table is qualitative (throughput- vs. latency-oriented);
+this bench backs each row with numbers at an equal MAC budget:
+
+* latency of a latency-shaped GEMV — the MAC tree wins outright;
+* *area-normalized* GEMM throughput — the systolic array wins because
+  MT MACs are ~7.6x less dense in silicon (the calibrated area model),
+  which is exactly the paper's "lower compute unit density ... economic
+  inefficiency in terms of throughput" argument.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.hardware.area import AreaModel
+from repro.hardware.components import MacTree, SystolicArray
+from repro.perf.mac_tree import MacTreeTimingModel
+from repro.perf.systolic import SystolicTimingModel
+
+FREQ = 1.5e9
+BW = 2e12
+MACS = 4096  # equal budget: one 64x64 SA vs 16 trees of 16x16
+
+
+def _compare():
+    area = AreaModel()
+    sa = SystolicTimingModel(SystolicArray(64, 64), cores=1,
+                             frequency_hz=FREQ)
+    mt = MacTreeTimingModel(MacTree(16, 16), cores=16, frequency_hz=FREQ,
+                            dram_bandwidth=BW)
+    sa_area = MACS * area.sa_mac_mm2
+    mt_area = MACS * area.mt_mac_mm2
+
+    flops_gemm = 2.0 * 4096 ** 3
+    flops_gemv = 2.0 * 4096 ** 2
+
+    sa_gemm = sa.gemm(4096, 4096, 4096, dram_bandwidth=BW)
+    sa_gemv = sa.gemm(1, 4096, 4096, dram_bandwidth=BW,
+                      double_buffered=False)
+    mt_gemm = mt.gemv(batch=4096, k=4096, n=4096)
+    mt_gemv = mt.gemv(batch=1, k=4096, n=4096)
+
+    sa_gemm_per_area = flops_gemm / sa_gemm.seconds / sa_area / 1e9
+    mt_gemm_per_area = flops_gemm / mt_gemm.seconds / mt_area / 1e9
+
+    rows = [
+        ["target operation", "matrix multiplication", "dot product"],
+        ["silicon per MAC (um^2)", area.sa_mac_mm2 * 1e6,
+         area.mt_mac_mm2 * 1e6],
+        ["GEMV 4096^2 latency (us)", sa_gemv.seconds * 1e6,
+         mt_gemv.seconds * 1e6],
+        ["GEMM 4096^3 latency (ms)", sa_gemm.seconds * 1e3,
+         mt_gemm.seconds * 1e3],
+        ["GEMM throughput (GFLOPS/mm^2)", sa_gemm_per_area,
+         mt_gemm_per_area],
+        ["suitable workload", "throughput-sensitive", "latency-sensitive"],
+    ]
+    return rows, sa_gemm_per_area, mt_gemm_per_area, sa_gemv, mt_gemv
+
+
+def test_table2_sa_vs_mt(benchmark, report):
+    rows, sa_density, mt_density, sa_gemv, mt_gemv = run_once(
+        benchmark, _compare)
+    report("table2_sa_vs_mt", format_table(
+        ["metric", "systolic array (64x64)", "MAC tree (16x16 x16)"],
+        rows,
+        title="Table II: systolic array vs. MAC tree at equal MAC budget",
+    ))
+    # MT wins latency work outright (paper: "Overall Latency: Low")
+    assert mt_gemv.seconds < sa_gemv.seconds
+    # SA wins throughput economics (paper: "Compute Intensity: High")
+    assert sa_density > 5 * mt_density

@@ -1,0 +1,75 @@
+"""Table III — the hardware ADOR's search proposes.
+
+Runs the full three-step DSE under the paper's A100-class constraints
+and regenerates the Table III comparison: the search must rediscover the
+64x64 x 32-core, MT 16x16 design at ~516 mm^2 / ~417 TFLOPS.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.core.requirements import (
+    SearchRequest,
+    ServiceLevelObjectives,
+    VendorConstraints,
+)
+from repro.core.search import AdorSearch
+from repro.hardware.area import AreaModel
+from repro.hardware.presets import ader_reference_designs
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 ** 3
+
+
+def _run_search():
+    request = SearchRequest(
+        model_names=("llama3-8b",),
+        slos=ServiceLevelObjectives(ttft_slo_s=0.05, tbt_slo_s=0.030,
+                                    batch_size=128, seq_len=1024),
+        vendor=VendorConstraints(area_budget_mm2=550.0),
+    )
+    return AdorSearch(request).run()
+
+
+def _table_rows(result):
+    area_model = AreaModel()
+    designs = ader_reference_designs()
+    designs["ADOR (searched)"] = result.best.chip
+    rows = []
+    for name, chip in designs.items():
+        sa = str(chip.systolic_array) if chip.systolic_array else "-"
+        mt = str(chip.mac_tree) if chip.mac_tree else "-"
+        rows.append([
+            name, sa, mt, chip.cores,
+            chip.local_memory.size_bytes / KIB,
+            chip.global_memory.size_bytes / MIB,
+            chip.dram.size_bytes / GIB,
+            chip.memory_bandwidth / 1e12,
+            chip.p2p.bandwidth_bytes_per_s / 1e9,
+            chip.peak_flops / 1e12,
+            area_model.die_area_mm2(chip),
+        ])
+    return rows
+
+
+def test_table3_design_search(benchmark, report):
+    result = run_once(benchmark, _run_search)
+    rows = _table_rows(result)
+    report("table3_dse", format_table(
+        ["design", "SA", "MT", "cores", "local (KiB)", "global (MiB)",
+         "DRAM (GiB)", "mem BW (TB/s)", "P2P (GB/s)", "perf (TFLOPS)",
+         "die (mm2)"],
+        rows,
+        title="Table III: designs compared (searched row must match the "
+              "paper's ADOR column)",
+    ) + "\n\nsearch log (tail):\n" + "\n".join(result.log[-6:]))
+
+    assert result.requirements_met
+    chip = result.best.chip
+    assert chip.systolic_array.rows == 64 and chip.cores == 32
+    assert chip.mac_tree.tree_size == 16 and chip.mac_tree.lanes == 16
+    assert chip.local_memory.size_bytes == 2048 * KIB
+    assert chip.global_memory.size_bytes == 16 * MIB
+    assert abs(result.best.area_mm2 - 516.0) < 5.0
+    assert abs(chip.peak_flops / 1e12 - 417.8) < 5.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Batching-policy comparison (paper Fig. 2b, quantified).
+
+Replays one Poisson request stream through three serving disciplines —
+no batching, static batching and continuous batching — on the ADOR
+design, and prints the QoS/throughput trade each makes.
+
+Run:  python examples/batching_policies.py
+"""
+
+import copy
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.scheduling import AdorDeviceModel
+from repro.hardware.presets import ador_table3
+from repro.models import get_model
+from repro.serving.dataset import ULTRACHAT_LIKE
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.policies import BatchingPolicy, simulate_policy
+from repro.serving.qos import compute_qos
+
+
+def main() -> None:
+    model = get_model("llama3-8b")
+    device = AdorDeviceModel(ador_table3())
+    rng = np.random.default_rng(23)
+    requests = PoissonRequestGenerator(ULTRACHAT_LIKE, 6.0, rng).generate(48)
+
+    rows = []
+    for policy in BatchingPolicy:
+        result = simulate_policy(policy, device, model,
+                                 copy.deepcopy(requests), batch_size=32)
+        qos = compute_qos(result.finished, result.total_time_s)
+        rows.append([
+            policy.value,
+            qos.ttft_p50_s * 1e3,
+            qos.ttft_p95_s * 1e3,
+            qos.tbt_mean_s * 1e3,
+            qos.tokens_per_s,
+            result.total_time_s,
+        ])
+    print(format_table(
+        ["policy", "TTFT p50 (ms)", "TTFT p95 (ms)", "TBT (ms)",
+         "tokens/s", "makespan (s)"],
+        rows,
+        title="48 ultrachat-like requests at 6 req/s, LLaMA3-8B on ADOR",
+    ))
+    print(
+        "\nno batching  : great TBT, but the queue murders tail TTFT\n"
+        "static       : throughput recovers, stragglers hold every batch\n"
+        "continuous   : iteration-level admission wins on both axes —\n"
+        "               the paper's (and vLLM's) default for good reason"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multimodal GenAI serving on the ADOR design (paper Figs. 2a, 9).
+
+ADOR's inputs cover LMMs and diffusion transformers, not just LLMs.
+This example times the LLaVA-style pipeline (ViT-L image encode, then
+LLaMA3-8B prefill whose prompt carries the 576 image tokens) and a
+DiT-XL image generation, comparing the ADOR design with an A100.
+
+Run:  python examples/multimodal_serving.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import device_model_for
+from repro.hardware.presets import a100, ador_table3
+from repro.models.multimodal import DitWorkload, LmmWorkload
+
+
+def main() -> None:
+    lmm = LmmWorkload.default()
+    dit = DitWorkload.default()
+    text_tokens = 128
+
+    print(f"LMM pipeline: {lmm.encoder_workload.encoder.name} -> "
+          f"{lmm.llm.name}")
+    print(f"  image tokens per picture: {lmm.encoder_workload.num_tokens}")
+    print(f"  encoder FLOPs per image:  "
+          f"{lmm.encoder_flops() / 1e12:.2f} TFLOP\n")
+
+    rows = []
+    for chip in (ador_table3(), a100()):
+        device = device_model_for(chip)
+        encode = device.prefill_time(
+            lmm.encoder_workload.encoder, 1,
+            lmm.encoder_workload.num_tokens).seconds
+        for images in (0, 1, 4):
+            prompt = lmm.effective_input_tokens(text_tokens, images)
+            prefill = device.prefill_time(lmm.llm, 1, prompt).seconds
+            ttft = images * encode + prefill
+            rows.append([chip.name, images, prompt, ttft * 1e3])
+    print(format_table(
+        ["device", "images", "prompt tokens", "TTFT (ms)"],
+        rows,
+        title=f"LMM time-to-first-token, {text_tokens} text tokens",
+    ))
+
+    print()
+    rows = []
+    for chip in (ador_table3(), a100()):
+        device = device_model_for(chip)
+        step = device.prefill_time(dit.dit, 1, dit.latent_tokens).seconds
+        rows.append([chip.name, step * 1e3, dit.sampling_steps,
+                     step * dit.sampling_steps * 1e3])
+    print(format_table(
+        ["device", "denoise step (ms)", "steps", "image gen (ms)"],
+        rows,
+        title=f"DiT-XL/2 image generation, {dit.latent_tokens} latent tokens",
+    ))
+    print("\nNote: DiT's narrow 1152-wide layers underutilize the 64x64 "
+          "systolic arrays, so the LLM-tuned ADOR geometry is merely "
+          "competitive there — a workload the DSE could re-target.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate the paper's ADOR design on LLaMA3-8B.
+
+Loads the Table III chip, asks the HDA scheduler for prefill/decode
+latencies across batch sizes, and compares against an A100 — the
+essence of the paper's Fig. 15 in a dozen lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import device_model_for
+from repro.hardware.area import AreaModel
+from repro.hardware.presets import a100, ador_table3
+from repro.models import get_model
+
+
+def main() -> None:
+    model = get_model("llama3-8b")
+    ador = device_model_for(ador_table3())
+    gpu = device_model_for(a100())
+    area = AreaModel()
+
+    print(f"model: {model}")
+    print(f"ADOR design: {ador.chip}")
+    print(f"  die area: {area.die_area_mm2(ador.chip):.0f} mm^2 "
+          f"(A100: {area.die_area_mm2(gpu.chip):.0f} mm^2)\n")
+
+    rows = []
+    for batch in (1, 16, 64, 128, 150):
+        ours = ador.decode_step_time(model, batch, context_len=1024)
+        theirs = gpu.decode_step_time(model, batch, context_len=1024)
+        rows.append([
+            batch,
+            1.0 / ours.seconds,
+            1.0 / theirs.seconds,
+            theirs.seconds / ours.seconds,
+        ])
+    print(format_table(
+        ["batch", "ADOR TBT (tok/s)", "A100 TBT (tok/s)", "ADOR gain (x)"],
+        rows,
+        title="Decode-step rate vs. batch size, LLaMA3-8B, seq 1024",
+    ))
+
+    ttft_ador = ador.prefill_time(model, 1, 1024).seconds
+    ttft_gpu = gpu.prefill_time(model, 1, 1024).seconds
+    print(f"\nprefill (1 request, 1024 tokens): "
+          f"ADOR {ttft_ador * 1e3:.1f} ms vs A100 {ttft_gpu * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

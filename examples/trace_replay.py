@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Deterministic trace replay: save a workload, rerun it anywhere.
+
+Generates a multi-turn chat workload (sessions with accumulated
+context), saves it as JSON, replays it twice through the serving engine
+and shows the runs are bit-identical — then exports the per-request
+timeline for offline analysis.
+
+Run:  python examples/trace_replay.py
+"""
+
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro.core.scheduling import AdorDeviceModel
+from repro.hardware.presets import ador_table3
+from repro.models import get_model
+from repro.serving import SchedulerLimits, ServingEngine, compute_qos
+from repro.serving.sessions import MultiTurnSessionGenerator, SessionConfig
+from repro.serving.trace_io import (
+    export_timeline,
+    load_requests,
+    save_requests,
+)
+
+
+def main() -> None:
+    model = get_model("llama3-8b")
+    device = AdorDeviceModel(ador_table3())
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="ador-trace-"))
+    trace_path = workdir / "sessions.json"
+
+    generator = MultiTurnSessionGenerator(SessionConfig(),
+                                          np.random.default_rng(11))
+    stream = generator.generate_stream(sessions=40, session_rate_per_s=2.0)
+    save_requests(stream, trace_path)
+    print(f"saved {len(stream)} requests "
+          f"({len(stream) / 40:.1f} turns/session) to {trace_path}")
+
+    def replay():
+        engine = ServingEngine(device, model, SchedulerLimits(max_batch=128))
+        return engine.run(load_requests(trace_path))
+
+    first, second = replay(), replay()
+    identical = all(a.token_times == b.token_times
+                    for a, b in zip(first.finished, second.finished))
+    print(f"replayed twice: identical timelines = {identical}")
+
+    qos = compute_qos(first.finished, first.total_time_s)
+    print(f"QoS: TTFT p95 {qos.ttft_p95_s * 1e3:.1f} ms, "
+          f"TBT p95 {qos.tbt_p95_s * 1e3:.2f} ms, "
+          f"{qos.tokens_per_s:,.0f} tokens/s")
+
+    timeline_path = workdir / "timeline.json"
+    export_timeline(first.finished, timeline_path)
+    print(f"per-request timeline exported to {timeline_path}")
+
+
+if __name__ == "__main__":
+    main()

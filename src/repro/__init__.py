@@ -1,0 +1,43 @@
+"""repro — a reproduction of ADOR (ISPASS 2025).
+
+ADOR: A Design Exploration Framework for LLM Serving with Enhanced
+Latency and Throughput.  The package implements the paper's full stack:
+
+* :mod:`repro.models` — LLM architectures and workload characterization;
+* :mod:`repro.hardware` — chip templates, presets and the calibrated
+  area/cost model;
+* :mod:`repro.perf` — analytical compute/memory performance models
+  (systolic arrays, MAC trees, GPU/NPU/TSP baselines);
+* :mod:`repro.parallel` — collectives, TP/PP and overlap analysis;
+* :mod:`repro.core` — the HDA scheduler and the architecture search;
+* :mod:`repro.compiler` — model mapper and instruction generator;
+* :mod:`repro.serving` — the discrete-event serving simulator;
+* :mod:`repro.analysis` — metrics and reporting helpers.
+
+Quick start::
+
+    from repro.models import get_model
+    from repro.hardware.presets import ador_table3
+    from repro.core import device_model_for
+
+    chip = ador_table3()
+    device = device_model_for(chip)
+    step = device.decode_step_time(get_model("llama3-8b"), batch=128,
+                                   context_len=1024)
+    print(f"TBT: {step.seconds * 1e3:.2f} ms")
+"""
+
+__version__ = "1.0.0"
+
+from repro.models import get_model, list_models
+from repro.core import AdorSearch, device_model_for
+from repro.hardware.presets import ador_table3
+
+__all__ = [
+    "__version__",
+    "get_model",
+    "list_models",
+    "AdorSearch",
+    "device_model_for",
+    "ador_table3",
+]

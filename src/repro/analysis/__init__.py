@@ -1,0 +1,25 @@
+"""Analysis helpers: metrics, table formatting and parameter sweeps."""
+
+from repro.analysis.metrics import (
+    area_efficiency_gflops_mm2,
+    normalized_area_efficiency,
+    qos_gain,
+)
+from repro.analysis.pareto import (
+    dominates,
+    normalized_distance_to_utopia,
+    pareto_frontier,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.sweep import sweep
+
+__all__ = [
+    "area_efficiency_gflops_mm2",
+    "normalized_area_efficiency",
+    "qos_gain",
+    "dominates",
+    "normalized_distance_to_utopia",
+    "pareto_frontier",
+    "format_table",
+    "sweep",
+]

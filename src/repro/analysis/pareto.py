@@ -1,0 +1,58 @@
+"""Pareto-frontier extraction for design-space studies.
+
+Fig. 1's right panel frames serving hardware as a latency/throughput
+design space with ADOR at the balanced optimum; this helper makes that
+notion precise: given evaluated design points and a set of objectives,
+return the non-dominated subset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good as ``b`` everywhere and
+    strictly better somewhere (all objectives are minimized)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    at_least_as_good = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_frontier(points: Sequence, objectives: Callable) -> list:
+    """Non-dominated subset of ``points``.
+
+    ``objectives(point)`` returns a tuple of values to *minimize*
+    (negate anything to be maximized).  Order of the result follows the
+    input order.
+    """
+    vectors = [tuple(objectives(p)) for p in points]
+    frontier = []
+    for i, point in enumerate(points):
+        if not any(dominates(vectors[j], vectors[i])
+                   for j in range(len(points)) if j != i):
+            frontier.append(point)
+    return frontier
+
+
+def normalized_distance_to_utopia(point_objectives: Sequence[float],
+                                  frontier_objectives: Sequence) -> float:
+    """How close a point sits to the per-objective best corner.
+
+    Normalizes each objective by the frontier's range, then measures the
+    Euclidean distance to the utopia (all-minimum) corner — the "balanced
+    optimum" score used to locate ADOR in the design space.
+    """
+    frontier = [tuple(v) for v in frontier_objectives]
+    if not frontier:
+        raise ValueError("frontier must be non-empty")
+    dims = len(point_objectives)
+    distance = 0.0
+    for d in range(dims):
+        values = [v[d] for v in frontier]
+        low, high = min(values), max(values)
+        span = (high - low) or 1.0
+        distance += ((point_objectives[d] - low) / span) ** 2
+    return distance ** 0.5

@@ -1,0 +1,20 @@
+"""Parameter sweep helper used by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+
+def sweep(values: Iterable, fn: Callable) -> list:
+    """Apply ``fn`` over ``values`` and return (value, result) pairs.
+
+    Trivial but keeps bench code declarative; failures annotate which
+    sweep point raised.
+    """
+    results = []
+    for value in values:
+        try:
+            results.append((value, fn(value)))
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            raise RuntimeError(f"sweep failed at value {value!r}: {exc}") from exc
+    return results

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benches and examples.
+
+The benchmark harness prints the same rows the paper's tables/figures
+report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    ``rows`` may contain any mix of strings and numbers; floats are
+    rendered with four significant digits.
+    """
+
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            magnitude = abs(cell)
+            if magnitude >= 1000 or magnitude < 0.001:
+                return f"{cell:.3e}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro`` or ``repro-ador``.
+
+Four subcommands cover the library's main entry points:
+
+* ``models``   — list the model zoo with key architecture facts;
+* ``evaluate`` — prefill/decode latency of a model on a chip preset;
+* ``search``   — run the ADOR architecture search (Fig. 9);
+* ``serve``    — simulate a serving endpoint and report QoS (Fig. 14b).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.requirements import (
+    SearchRequest,
+    ServiceLevelObjectives,
+    VendorConstraints,
+)
+from repro.core.scheduling import device_model_for
+from repro.core.search import AdorSearch
+from repro.hardware.area import AreaModel
+from repro.hardware.power import PowerModel
+from repro.hardware.presets import (
+    a100,
+    ador_table3,
+    groq_tsp,
+    h100,
+    llmcompass_latency,
+    llmcompass_throughput,
+    tpu_v4,
+)
+from repro.models.zoo import get_model, list_models
+from repro.serving.dataset import ULTRACHAT_LIKE
+from repro.serving.engine import ServingEngine
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.qos import compute_qos
+from repro.serving.scheduler import SchedulerLimits
+from repro.serving.utilization import utilization_report
+
+CHIP_PRESETS = {
+    "ador": ador_table3,
+    "a100": a100,
+    "h100": h100,
+    "tpuv4": tpu_v4,
+    "tsp": groq_tsp,
+    "llmcompass-l": llmcompass_latency,
+    "llmcompass-t": llmcompass_throughput,
+}
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_models():
+        model = get_model(name)
+        rows.append([
+            name,
+            f"{model.num_parameters / 1e9:.2f}B",
+            model.num_layers,
+            model.hidden_size,
+            f"{model.num_heads}/{model.num_kv_heads}",
+            model.attention_kind.value,
+        ])
+    print(format_table(
+        ["model", "params", "layers", "hidden", "q/kv heads", "attention"],
+        rows, title="Model zoo"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    chip = CHIP_PRESETS[args.chip]()
+    device = device_model_for(chip)
+    area = AreaModel().die_area_mm2(chip)
+    power = PowerModel().tdp_w(chip)
+    print(f"{chip}")
+    print(f"die area {area:.0f} mm^2, TDP estimate {power:.0f} W\n")
+    rows = []
+    for batch in args.batches:
+        prefill = device.prefill_time(model, 1, args.seq_len, args.devices)
+        decode = device.decode_step_time(model, batch, args.seq_len,
+                                         args.devices)
+        rows.append([batch, prefill.seconds * 1e3, decode.seconds * 1e3,
+                     1.0 / decode.seconds])
+    print(format_table(
+        ["batch", "TTFT (ms)", "decode step (ms)", "TBT (tok/s)"],
+        rows, title=f"{model.name} on {chip.name}, seq {args.seq_len}, "
+                    f"{args.devices} device(s)"))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    request = SearchRequest(
+        model_names=tuple(args.models),
+        slos=ServiceLevelObjectives(
+            ttft_slo_s=args.ttft_ms / 1e3,
+            tbt_slo_s=args.tbt_ms / 1e3,
+            batch_size=args.batch,
+            seq_len=args.seq_len,
+        ),
+        vendor=VendorConstraints(
+            area_budget_mm2=args.area_budget,
+            power_budget_w=args.power_budget,
+        ),
+        num_devices=args.devices,
+    )
+    result = AdorSearch(request).run()
+    for line in result.log:
+        print(line)
+    chip = result.best.chip
+    print(f"\nproposed: {chip}")
+    print(f"  area {result.best.area_mm2:.0f} mm^2, "
+          f"TDP {PowerModel().tdp_w(chip):.0f} W, "
+          f"requirements {'met' if result.requirements_met else 'NOT met'}")
+    if result.notes:
+        print(f"  {result.notes}")
+    return 0 if result.requirements_met else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    chip = CHIP_PRESETS[args.chip]()
+    device = device_model_for(chip)
+    rng = np.random.default_rng(args.seed)
+    requests = PoissonRequestGenerator(
+        ULTRACHAT_LIKE, args.rate, rng).generate(args.requests)
+    engine = ServingEngine(device, model,
+                           SchedulerLimits(max_batch=args.max_batch),
+                           num_devices=args.devices)
+    result = engine.run(requests)
+    if not result.finished:
+        print("no requests finished — the endpoint cannot sustain this load")
+        return 1
+    qos = compute_qos(result.finished, result.total_time_s)
+    print(f"simulated {len(result.finished)} requests at {args.rate} req/s "
+          f"on {chip.name}:")
+    print(f"  TTFT mean/p95 : {qos.ttft_mean_s * 1e3:.1f} / "
+          f"{qos.ttft_p95_s * 1e3:.1f} ms")
+    print(f"  TBT  mean/p95 : {qos.tbt_mean_s * 1e3:.2f} / "
+          f"{qos.tbt_p95_s * 1e3:.2f} ms")
+    print(f"  E2E  mean     : {qos.e2e_mean_s:.2f} s")
+    print(f"  throughput    : {qos.tokens_per_s:,.0f} tokens/s")
+    util = utilization_report(result, model, chip, args.devices)
+    for key, value in util.as_dict().items():
+        print(f"  {key}: {value:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ador",
+        description="ADOR design-exploration framework (ISPASS 2025 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo")
+
+    evaluate = sub.add_parser("evaluate", help="stage latencies on a chip")
+    evaluate.add_argument("--model", default="llama3-8b")
+    evaluate.add_argument("--chip", choices=sorted(CHIP_PRESETS),
+                          default="ador")
+    evaluate.add_argument("--seq-len", type=int, default=1024)
+    evaluate.add_argument("--devices", type=int, default=1)
+    evaluate.add_argument("--batches", type=int, nargs="+",
+                          default=[1, 16, 64, 128])
+
+    search = sub.add_parser("search", help="run the architecture search")
+    search.add_argument("--models", nargs="+", default=["llama3-8b"])
+    search.add_argument("--ttft-ms", type=float, default=50.0)
+    search.add_argument("--tbt-ms", type=float, default=30.0)
+    search.add_argument("--batch", type=int, default=128)
+    search.add_argument("--seq-len", type=int, default=1024)
+    search.add_argument("--area-budget", type=float, default=550.0)
+    search.add_argument("--power-budget", type=float, default=500.0)
+    search.add_argument("--devices", type=int, default=1)
+
+    serve = sub.add_parser("serve", help="simulate a serving endpoint")
+    serve.add_argument("--model", default="llama3-8b")
+    serve.add_argument("--chip", choices=sorted(CHIP_PRESETS),
+                       default="ador")
+    serve.add_argument("--rate", type=float, default=15.0)
+    serve.add_argument("--requests", type=int, default=200)
+    serve.add_argument("--max-batch", type=int, default=256)
+    serve.add_argument("--devices", type=int, default=1)
+    serve.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "evaluate": _cmd_evaluate,
+        "search": _cmd_search,
+        "serve": _cmd_serve,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

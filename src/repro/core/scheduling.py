@@ -1,0 +1,315 @@
+"""Dynamic HDA scheduling: the decoder-layer latency estimator (Fig. 8).
+
+The scheduler implements the paper's operating rules:
+
+* **decode** — the MAC tree owns the full DRAM bandwidth, streaming
+  weights and KV cache at the Fig. 10 effective bandwidth; the systolic
+  array assists with batched GEMM compute and works on KV pairs already
+  resident in global memory; vector units handle norms/softmax;
+* **prefill** — GEMMs are split at compile time between the systolic
+  array and MAC tree proportionally to their effective rates
+  (:mod:`repro.core.allocation`); weights double-buffer behind tiles;
+* **multi-core** — the latency dataflow's all-gather bubbles are charged
+  per layer (Fig. 6d); **multi-device** TP sync is overlapped per the
+  collectives model.
+
+Every QoS experiment (Figs. 11, 15, 16, 17) consumes these estimates, so
+calibration decisions live here and nowhere else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation import hda_gemm_seconds
+from repro.core.dataflow import CoreSyncMethod, DataflowKind, MultiCoreDataflow
+from repro.hardware.chip import ChipKind, ChipSpec
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import kv_cache_bytes
+from repro.models.layers import (
+    Operator,
+    OperatorKind,
+    Phase,
+    decoder_layer_operators,
+    lm_head_operator,
+)
+from repro.parallel.collectives import layer_sync_plan, visible_collective_time
+from repro.parallel.mapper import ModelParallelMapper
+from repro.perf.baselines import BaselineBreakdown, DeviceModel, baseline_for
+from repro.perf.effective_bandwidth import MT_BANDWIDTH_CURVE
+from repro.perf.mac_tree import MacTreeTimingModel
+from repro.perf.systolic import SystolicTimingModel
+from repro.perf.vector import VectorTimingModel
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Calibration constants of the HDA scheduler."""
+
+    #: SA compute efficiency on large prefill GEMMs beyond the analytical
+    #: tiling losses (bank conflicts, edge tiles)
+    sa_efficiency: float = 0.92
+    #: MT efficiency when assisting GEMMs (it must share DRAM streams)
+    mt_gemm_efficiency: float = 0.90
+    #: DRAM utilization of SA weight prefetch in decode *without* a MAC
+    #: tree (the Fig. 11c ablation: SA-only GEMV exposes prefetch latency)
+    sa_only_gemv_utilization: float = 0.58
+    #: per-layer scheduling overhead (descriptor fetch, DMA programming)
+    layer_overhead_s: float = 1.0e-6
+    #: fraction of a decode step's KV that is fresh enough to still be in
+    #: global memory, served to the SA without DRAM traffic (Section IV-E)
+    global_memory_kv_fraction_cap: float = 1.0
+
+
+class HdaScheduler:
+    """Stage-latency estimator for one ADOR HDA chip."""
+
+    def __init__(self, chip: ChipSpec, use_mac_tree: bool = True,
+                 config: SchedulerConfig | None = None) -> None:
+        if chip.kind != ChipKind.ADOR_HDA:
+            raise ValueError(f"{chip.name} is not an ADOR HDA chip")
+        if chip.systolic_array is None:
+            raise ValueError("HDA scheduling requires a systolic array")
+        self.chip = chip
+        self.use_mac_tree = use_mac_tree and chip.mac_tree is not None
+        self.config = config or SchedulerConfig()
+        self.systolic = SystolicTimingModel(
+            array=chip.systolic_array,
+            cores=chip.cores,
+            frequency_hz=chip.frequency_hz,
+        )
+        self.mac_tree = None
+        if self.use_mac_tree:
+            self.mac_tree = MacTreeTimingModel(
+                tree=chip.mac_tree,
+                cores=chip.cores,
+                frequency_hz=chip.frequency_hz,
+                dram_bandwidth=chip.memory_bandwidth,
+            )
+        self.vector = VectorTimingModel(
+            unit=chip.vector_unit,
+            cores=chip.cores,
+            frequency_hz=chip.frequency_hz,
+        ) if chip.vector_unit is not None else None
+        self.dataflow_latency = MultiCoreDataflow(chip, DataflowKind.LATENCY)
+
+    # ------------------------------------------------------------------ #
+    # Effective rates                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _decode_utilization(self, step_flops: float) -> float:
+        """DRAM utilization in decode: the Fig. 10 curve with the MAC
+        tree, a derated constant without it (Fig. 11c ablation)."""
+        if self.use_mac_tree:
+            return MT_BANDWIDTH_CURVE.utilization(step_flops)
+        return self.config.sa_only_gemv_utilization
+
+    def _mt_rate(self) -> float:
+        if self.mac_tree is None:
+            return 0.0
+        return self.mac_tree.peak_flops * self.config.mt_gemm_efficiency
+
+    # ------------------------------------------------------------------ #
+    # Per-operator timing                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _prefill_gemm_seconds(self, op: Operator, devices: int) -> float:
+        """Compile-time split GEMM on SA (+MT assist), weights sharded by TP."""
+        n_shard = max(1, math.ceil(op.n / devices))
+        sa_est = self.systolic.gemm(
+            op.m, op.k, n_shard, self.chip.memory_bandwidth,
+            double_buffered=True,
+        )
+        flops_shard = op.flops / devices
+        sa_rate = (flops_shard / sa_est.seconds if sa_est.seconds > 0
+                   else self.systolic.peak_flops) * self.config.sa_efficiency
+        return hda_gemm_seconds(flops_shard, sa_rate, self._mt_rate())
+
+    def _decode_gemm_seconds(self, op: Operator, devices: int,
+                             utilization: float) -> float:
+        """Weight-streamed batched GEMV: MT consumes the stream, SA assists."""
+        weight_bytes = op.weight_bytes / devices
+        stream = weight_bytes / (self.chip.memory_bandwidth * utilization)
+        rates = self.systolic.peak_flops * self.config.sa_efficiency \
+            + self._mt_rate()
+        compute = (op.flops / devices) / rates
+        return max(stream, compute)
+
+    def _prefill_attention_seconds(self, op: Operator, devices: int) -> float:
+        """Chunk attention on the SA against global-memory KV.
+
+        Heads shard across devices; score and context GEMMs read KV pairs
+        produced by the current chunk from global memory, so no DRAM
+        stall applies (Section IV-B).
+        """
+        heads_per_device = max(1, op.heads // devices)
+        query_len = max(1, op.m // op.batch)
+        jobs = op.batch * heads_per_device
+        # score: [q, d] x [d, ctx]; context: [q, ctx] x [ctx, d] — model the
+        # pair as one GEMM of doubled N on the resident operand.
+        est = self.systolic.gemm(
+            m=query_len * jobs,
+            k=op.k,
+            n=2 * op.context_len,
+            dram_bandwidth=self.chip.memory_bandwidth,
+            double_buffered=True,
+            weights_resident=True,
+        )
+        causal = 0.5 if query_len > 1 else 1.0
+        return est.seconds * causal / self.config.sa_efficiency
+
+    def _decode_attention_seconds(self, op: Operator, devices: int,
+                                  utilization: float,
+                                  dtype_bytes: int) -> float:
+        """Decode attention: the MAC tree streams per-request KV."""
+        kv_heads = max(1, op.heads // op.group_size)
+        if self.mac_tree is not None:
+            shard = self.mac_tree.decode_attention(
+                batch=op.batch,
+                num_heads=max(1, op.heads // devices),
+                num_kv_heads=max(1, kv_heads // devices),
+                head_dim=op.k,
+                context_len=op.context_len,
+                dtype_bytes=dtype_bytes,
+            )
+            return shard.seconds
+        kv_bytes = op.io_bytes / devices
+        return kv_bytes / (self.chip.memory_bandwidth * utilization)
+
+    def _vector_seconds(self, op: Operator, devices: int) -> float:
+        if self.vector is None:
+            return 0.0
+        elements = op.m * op.k / devices
+        if op.name.endswith("norm"):
+            return self.vector.layernorm(op.m, max(1, op.k // devices))
+        return self.vector.elementwise(elements)
+
+    def _softmax_seconds(self, op: Operator, devices: int) -> float:
+        if self.vector is None or op.context_len == 0:
+            return 0.0
+        rows = op.m * max(1, op.heads // devices)
+        return self.vector.softmax(rows, op.context_len)
+
+    # ------------------------------------------------------------------ #
+    # Layer and stage aggregation                                         #
+    # ------------------------------------------------------------------ #
+
+    def layer_breakdown(self, model: ModelConfig, phase: Phase, batch: int,
+                        query_len: int, context_len: int,
+                        devices: int = 1) -> dict[str, float]:
+        """Per-operator seconds for one decoder layer (Fig. 11a bars)."""
+        if devices < 1:
+            raise ValueError("devices must be >= 1")
+        ops = decoder_layer_operators(model, phase, batch, query_len, context_len)
+        step_flops = sum(op.flops for op in ops) * model.num_layers
+        utilization = self._decode_utilization(step_flops)
+        breakdown: dict[str, float] = {}
+        for op in ops:
+            if op.kind == OperatorKind.GEMM:
+                if phase == Phase.PREFILL:
+                    seconds = self._prefill_gemm_seconds(op, devices)
+                else:
+                    seconds = self._decode_gemm_seconds(op, devices, utilization)
+            elif op.kind == OperatorKind.ATTENTION:
+                if phase == Phase.PREFILL:
+                    seconds = self._prefill_attention_seconds(op, devices)
+                else:
+                    seconds = self._decode_attention_seconds(
+                        op, devices, utilization, model.dtype_bytes)
+                seconds += self._softmax_seconds(op, devices)
+            else:
+                seconds = self._vector_seconds(op, devices)
+            breakdown[op.name] = breakdown.get(op.name, 0.0) + seconds
+        # multi-core all-gather bubbles: two synchronized GEMVs per layer
+        rows = batch * query_len
+        compute_floor = breakdown.get("out_proj", 0.0)
+        bubble = self.dataflow_latency.sync_bubble(
+            rows, model.hidden_size, compute_floor, CoreSyncMethod.ALL_GATHER)
+        breakdown["core_sync"] = 2 * bubble.exposed_seconds \
+            + self.config.layer_overhead_s
+        return breakdown
+
+    def _tp_sync_seconds(self, model: ModelConfig, rows: int, devices: int,
+                         body_seconds: float, overlap_capacity: float) -> float:
+        if devices <= 1:
+            return 0.0
+        method = ModelParallelMapper(model).choose_sync_method(devices)
+        tensor_bytes = rows * model.hidden_size * model.dtype_bytes
+        plan = layer_sync_plan(method, tensor_bytes, devices)
+        return visible_collective_time(
+            plan, self.chip.p2p, model.num_layers,
+            body_seconds * overlap_capacity)
+
+    def prefill_time(self, model: ModelConfig, batch: int, seq_len: int,
+                     devices: int = 1) -> BaselineBreakdown:
+        """Latency to prefill ``batch`` requests of ``seq_len`` tokens."""
+        layer = self.layer_breakdown(
+            model, Phase.PREFILL, batch, seq_len, seq_len, devices)
+        per_layer = sum(layer.values())
+        compute = per_layer * model.num_layers
+        # weights must still arrive from DRAM once per layer
+        weight_stream = model.active_param_bytes_per_token / devices / (
+            self.chip.memory_bandwidth * self.systolic.dram_stream_utilization)
+        body = max(compute, weight_stream)
+        comm = self._tp_sync_seconds(model, batch * seq_len, devices,
+                                     body, overlap_capacity=0.60)
+        attn = layer.get("attention", 0.0) * model.num_layers
+        return BaselineBreakdown(
+            seconds=body + comm,
+            weight_stream=weight_stream,
+            attention=attn,
+            compute=compute,
+            communication=comm,
+            overhead=layer.get("core_sync", 0.0) * model.num_layers,
+        )
+
+    def decode_step_time(self, model: ModelConfig, batch: int, context_len: int,
+                         devices: int = 1) -> BaselineBreakdown:
+        """One decode iteration over ``batch`` requests (TBT = 1/this)."""
+        layer = self.layer_breakdown(
+            model, Phase.DECODE, batch, 1, context_len, devices)
+        body = sum(layer.values()) * model.num_layers
+        # LM head: a weight-streamed GEMM over the vocabulary
+        head = lm_head_operator(model, Phase.DECODE, batch)
+        step_flops = 2.0 * batch * model.active_params_per_token
+        utilization = self._decode_utilization(step_flops)
+        head_seconds = self._decode_gemm_seconds(head, devices, utilization)
+        body += head_seconds
+        comm = self._tp_sync_seconds(model, batch, devices, body,
+                                     overlap_capacity=0.95)
+        return BaselineBreakdown(
+            seconds=body + comm,
+            weight_stream=sum(v for k, v in layer.items()
+                              if k not in ("attention", "core_sync"))
+            * model.num_layers + head_seconds,
+            attention=layer.get("attention", 0.0) * model.num_layers,
+            communication=comm,
+            overhead=layer.get("core_sync", 0.0) * model.num_layers,
+        )
+
+
+class AdorDeviceModel(DeviceModel):
+    """:class:`DeviceModel` facade over the HDA scheduler."""
+
+    def __init__(self, chip: ChipSpec, use_mac_tree: bool = True,
+                 config: SchedulerConfig | None = None) -> None:
+        super().__init__(chip)
+        self.scheduler = HdaScheduler(chip, use_mac_tree=use_mac_tree,
+                                      config=config)
+
+    def prefill_time(self, model: ModelConfig, batch: int, seq_len: int,
+                     num_devices: int = 1) -> BaselineBreakdown:
+        return self.scheduler.prefill_time(model, batch, seq_len, num_devices)
+
+    def decode_step_time(self, model: ModelConfig, batch: int, context_len: int,
+                         num_devices: int = 1) -> BaselineBreakdown:
+        return self.scheduler.decode_step_time(model, batch, context_len,
+                                               num_devices)
+
+
+def device_model_for(chip: ChipSpec, **kwargs) -> DeviceModel:
+    """Performance model for any chip kind (HDA or baseline)."""
+    if chip.kind == ChipKind.ADOR_HDA:
+        return AdorDeviceModel(chip, **kwargs)
+    return baseline_for(chip)

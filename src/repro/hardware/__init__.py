@@ -1,0 +1,52 @@
+"""Hardware description layer: compute units, memories, interconnect,
+process technology and the calibrated area/cost model.
+
+:mod:`repro.hardware.presets` holds every concrete device the paper
+evaluates (Table I) and every design it proposes or compares against
+(Table III).
+"""
+
+from repro.hardware.technology import ProcessNode, area_scaling_factor, normalize_area
+from repro.hardware.components import MacTree, SystolicArray, VectorUnit
+from repro.hardware.memory import Dram, DramKind, Sram
+from repro.hardware.interconnect import NocSpec, P2pSpec
+from repro.hardware.chip import ChipSpec
+from repro.hardware.area import AreaBreakdown, AreaModel
+from repro.hardware.power import EnergyBreakdown, PowerModel
+from repro.hardware.presets import (
+    a100,
+    ader_reference_designs,
+    ador_table3,
+    groq_tsp,
+    h100,
+    llmcompass_latency,
+    llmcompass_throughput,
+    tpu_v4,
+)
+
+__all__ = [
+    "ProcessNode",
+    "area_scaling_factor",
+    "normalize_area",
+    "MacTree",
+    "SystolicArray",
+    "VectorUnit",
+    "Dram",
+    "DramKind",
+    "Sram",
+    "NocSpec",
+    "P2pSpec",
+    "ChipSpec",
+    "AreaBreakdown",
+    "AreaModel",
+    "EnergyBreakdown",
+    "PowerModel",
+    "a100",
+    "h100",
+    "tpu_v4",
+    "groq_tsp",
+    "llmcompass_latency",
+    "llmcompass_throughput",
+    "ador_table3",
+    "ader_reference_designs",
+]

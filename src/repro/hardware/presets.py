@@ -1,0 +1,185 @@
+"""Concrete devices and designs from the paper's Tables I and III.
+
+Real silicon (A100, H100, TPUv4, Groq TSP) is described by its published
+spec sheet; the synthesizable designs (LLMCompass-L/T, the ADOR design)
+are full template instantiations whose die areas the calibrated
+:class:`~repro.hardware.area.AreaModel` reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.chip import ChipKind, ChipSpec
+from repro.hardware.components import MacTree, SystolicArray, VectorUnit
+from repro.hardware.interconnect import NocSpec, P2pSpec
+from repro.hardware.memory import Dram, DramKind, Sram, GIB, KIB, MIB
+
+_GBPS = 1e9
+_TBPS = 1e12
+
+from repro.hardware.technology import ProcessNode
+
+
+def a100() -> ChipSpec:
+    """NVIDIA A100 as configured in Table III (2 TB/s HBM2e variant)."""
+    return ChipSpec(
+        name="NVIDIA A100",
+        kind=ChipKind.GPU,
+        frequency_hz=1.5e9,
+        cores=108,  # SMs
+        systolic_array=None,
+        mac_tree=None,
+        vector_unit=VectorUnit(width=128),
+        local_memory=Sram(192 * KIB),
+        global_memory=Sram(48 * MIB),
+        dram=Dram(DramKind.HBM2E, 80 * GIB, 2.0 * _TBPS, modules=5),
+        noc=NocSpec(bandwidth_bytes_per_s=5.0 * _TBPS),
+        p2p=P2pSpec(bandwidth_bytes_per_s=600 * _GBPS),
+        process=ProcessNode.NM_7,
+        die_area_mm2=826.0,
+        peak_flops_override=312e12,
+        tdp_w=400.0,
+    )
+
+
+def h100() -> ChipSpec:
+    """NVIDIA H100 per Table I."""
+    return ChipSpec(
+        name="NVIDIA H100",
+        kind=ChipKind.GPU,
+        frequency_hz=1.593e9,
+        cores=132,
+        systolic_array=None,
+        mac_tree=None,
+        vector_unit=VectorUnit(width=128),
+        local_memory=Sram(228 * KIB),
+        global_memory=Sram(80 * MIB),
+        dram=Dram(DramKind.HBM3E, 80 * GIB, 3.35 * _TBPS, modules=5),
+        noc=NocSpec(bandwidth_bytes_per_s=7.0 * _TBPS),
+        p2p=P2pSpec(bandwidth_bytes_per_s=900 * _GBPS),
+        process=ProcessNode.NM_4,
+        die_area_mm2=814.0,
+        peak_flops_override=1000e12,
+        tdp_w=700.0,
+    )
+
+
+def tpu_v4() -> ChipSpec:
+    """Google TPUv4 per Table I — a throughput-oriented systolic NPU."""
+    return ChipSpec(
+        name="Google TPUv4",
+        kind=ChipKind.SYSTOLIC_NPU,
+        frequency_hz=1.05e9,
+        cores=2,  # two TensorCores, each with large MXUs
+        systolic_array=SystolicArray(rows=128, cols=128, lanes=4),
+        mac_tree=None,
+        vector_unit=VectorUnit(width=128),
+        local_memory=Sram(16 * MIB),
+        global_memory=Sram(128 * MIB),
+        dram=Dram(DramKind.HBM2, 32 * GIB, 1.2 * _TBPS, modules=4),
+        noc=NocSpec(bandwidth_bytes_per_s=2.0 * _TBPS),
+        p2p=P2pSpec(bandwidth_bytes_per_s=200 * _GBPS),
+        process=ProcessNode.NM_7,
+        die_area_mm2=400.0,
+        peak_flops_override=275e12,
+        tdp_w=275.0,
+    )
+
+
+def groq_tsp() -> ChipSpec:
+    """Groq TSP per Table I — all weights resident in on-chip SRAM.
+
+    The "DRAM" entry models the 220 MiB on-chip SRAM at its 80 TB/s
+    streaming bandwidth; model capacity therefore forces hundreds of
+    devices per model (the paper quotes 576 for LLaMA3-8B-class models).
+    """
+    return ChipSpec(
+        name="Groq TSP",
+        kind=ChipKind.STREAMING_SRAM,
+        frequency_hz=1.0e9,
+        cores=1,
+        systolic_array=None,
+        mac_tree=None,
+        vector_unit=VectorUnit(width=320),
+        local_memory=Sram(220 * MIB),
+        global_memory=Sram(0),
+        dram=Dram(DramKind.ON_CHIP_SRAM, 220 * MIB, 80.0 * _TBPS, modules=1),
+        noc=NocSpec(bandwidth_bytes_per_s=80.0 * _TBPS),
+        p2p=P2pSpec(bandwidth_bytes_per_s=330 * _GBPS),
+        process=ProcessNode.NM_14,
+        die_area_mm2=725.0,
+        peak_flops_override=205e12,
+        tdp_w=300.0,
+    )
+
+
+def llmcompass_latency() -> ChipSpec:
+    """LLMCompass's latency-oriented design (Table III column "L")."""
+    return ChipSpec(
+        name="LLMCompass-L",
+        kind=ChipKind.SYSTOLIC_NPU,
+        frequency_hz=1.5e9,
+        cores=64,
+        systolic_array=SystolicArray(rows=16, cols=16, lanes=4),
+        mac_tree=None,
+        vector_unit=VectorUnit(width=64),
+        local_memory=Sram(192 * KIB),
+        global_memory=Sram(24 * MIB),
+        dram=Dram(DramKind.HBM2E, 80 * GIB, 2.0 * _TBPS, modules=5),
+        noc=NocSpec(bandwidth_bytes_per_s=2.0 * _TBPS),
+        p2p=P2pSpec(bandwidth_bytes_per_s=600 * _GBPS),
+        process=ProcessNode.NM_7,
+    )
+
+
+def llmcompass_throughput() -> ChipSpec:
+    """LLMCompass's throughput-oriented design (Table III column "T")."""
+    return ChipSpec(
+        name="LLMCompass-T",
+        kind=ChipKind.SYSTOLIC_NPU,
+        frequency_hz=1.5e9,
+        cores=64,
+        systolic_array=SystolicArray(rows=32, cols=32, lanes=4),
+        mac_tree=None,
+        vector_unit=VectorUnit(width=64),
+        local_memory=Sram(768 * KIB),
+        global_memory=Sram(48 * MIB),
+        dram=Dram(DramKind.LPDDR, 512 * GIB, 1.0 * _TBPS, modules=8),
+        noc=NocSpec(bandwidth_bytes_per_s=2.0 * _TBPS),
+        p2p=P2pSpec(bandwidth_bytes_per_s=600 * _GBPS),
+        process=ProcessNode.NM_7,
+    )
+
+
+def ador_table3() -> ChipSpec:
+    """The ADOR design the paper's DSE proposes (Table III last column).
+
+    64x64 weight-stationary systolic array and a 16-wide, 16-lane MAC
+    tree per core, 32 cores, 2 MiB local / 16 MiB global SRAM, 2 TB/s
+    HBM and 64 GB/s P2P.  Peak compute: 393.2 TFLOPS (SA) + 24.6 TFLOPS
+    (MT) = 417.8 TFLOPS, matching the table's 417.
+    """
+    return ChipSpec(
+        name="ADOR Design",
+        kind=ChipKind.ADOR_HDA,
+        frequency_hz=1.5e9,
+        cores=32,
+        systolic_array=SystolicArray(rows=64, cols=64, lanes=1),
+        mac_tree=MacTree(tree_size=16, lanes=16),
+        vector_unit=VectorUnit(width=16),
+        local_memory=Sram(2048 * KIB),
+        global_memory=Sram(16 * MIB),
+        dram=Dram(DramKind.HBM2E, 80 * GIB, 2.0 * _TBPS, modules=8),
+        noc=NocSpec(bandwidth_bytes_per_s=512 * _GBPS),
+        p2p=P2pSpec(bandwidth_bytes_per_s=64 * _GBPS),
+        process=ProcessNode.NM_7,
+    )
+
+
+def ader_reference_designs() -> dict[str, ChipSpec]:
+    """All Table III columns keyed by short name (used by the benches)."""
+    return {
+        "A100": a100(),
+        "LLMCompass-L": llmcompass_latency(),
+        "LLMCompass-T": llmcompass_throughput(),
+        "ADOR": ador_table3(),
+    }

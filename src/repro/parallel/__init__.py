@@ -1,0 +1,41 @@
+"""Multi-device parallelism: collectives, TP/PP mapping and overlap.
+
+Implements the paper's Section IV-D and V-C analyses: synchronization
+volumes of all-gather / all-reduce / Megatron hybrids (Fig. 7c), tensor-
+parallel latency scalability (Fig. 13a), the computation-communication
+overlap model that determines minimum P2P bandwidth (Fig. 13b), and the
+model-parallelism mapper that shards a model across devices (Fig. 7a).
+"""
+
+from repro.parallel.collectives import (
+    SyncMethod,
+    all_gather_bytes_per_device,
+    all_reduce_bytes_per_device,
+    collective_time,
+    layer_sync_plan,
+)
+from repro.parallel.tensor_parallel import (
+    TpLatencyModel,
+    tp_scalability_curve,
+)
+from repro.parallel.pipeline_parallel import PipelineParallelModel
+from repro.parallel.overlap import OverlapModel, minimum_p2p_bandwidth
+from repro.parallel.mapper import DeviceShard, ModelParallelMapper
+from repro.parallel.hybrid import HybridParallelPlanner, HybridPlan
+
+__all__ = [
+    "HybridParallelPlanner",
+    "HybridPlan",
+    "SyncMethod",
+    "all_gather_bytes_per_device",
+    "all_reduce_bytes_per_device",
+    "collective_time",
+    "layer_sync_plan",
+    "TpLatencyModel",
+    "tp_scalability_curve",
+    "PipelineParallelModel",
+    "OverlapModel",
+    "minimum_p2p_bandwidth",
+    "DeviceShard",
+    "ModelParallelMapper",
+]

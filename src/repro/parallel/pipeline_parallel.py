@@ -1,0 +1,64 @@
+"""Pipeline parallelism (paper Fig. 7b).
+
+PP places whole layers on each device and streams tokens through; it
+multiplies *throughput* and aggregate memory, but a single token still
+traverses every layer, so per-token latency does not improve — "PP
+provides no latency benefits due to pipelining".  ADOR therefore prefers
+TP for serving; PP stays available for capacity scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import P2pSpec
+from repro.models.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class PipelineParallelModel:
+    """Latency/throughput effects of a ``D``-stage layer pipeline."""
+
+    model: ModelConfig
+    p2p: P2pSpec
+
+    def stage_layers(self, devices: int) -> int:
+        """Layers per pipeline stage (last stage may be smaller)."""
+        if devices < 1:
+            raise ValueError("devices must be >= 1")
+        return math.ceil(self.model.num_layers / devices)
+
+    def token_latency_seconds(self, single_device_seconds: float,
+                              devices: int, batch: int) -> float:
+        """Per-token latency: the full traversal plus inter-stage hops.
+
+        The compute time is unchanged (every layer still runs serially for
+        one token); each stage boundary adds an activation transfer.
+        """
+        if single_device_seconds < 0:
+            raise ValueError("negative latency")
+        if devices == 1:
+            return single_device_seconds
+        activation_bytes = batch * self.model.hidden_size * self.model.dtype_bytes
+        hop = self.p2p.transfer_time(activation_bytes)
+        return single_device_seconds + (devices - 1) * hop
+
+    def latency_speedup(self, single_device_seconds: float, devices: int,
+                        batch: int) -> float:
+        """Always <= 1.0 — the Fig. 7(b) contrast with TP."""
+        multi = self.token_latency_seconds(single_device_seconds, devices, batch)
+        return single_device_seconds / multi if multi > 0 else 1.0
+
+    def throughput_scaling(self, devices: int, bubble_fraction: float = 0.05) -> float:
+        """Steady-state throughput multiplier with a small pipeline bubble."""
+        if not 0 <= bubble_fraction < 1:
+            raise ValueError("bubble fraction must be in [0, 1)")
+        return devices * (1.0 - bubble_fraction)
+
+    def aggregate_memory_bandwidth(self, per_device_bandwidth: float,
+                                   devices: int) -> float:
+        """Effective bandwidth grows with devices (Fig. 7b's PP column)."""
+        if per_device_bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        return per_device_bandwidth * devices

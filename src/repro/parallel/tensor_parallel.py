@@ -1,0 +1,83 @@
+"""Tensor-parallel latency scaling (paper Figs. 7b and 13a).
+
+TP shards every weight matrix over ``D`` devices, so the per-device
+compute and weight traffic shrink by ``D`` while synchronization cost
+grows — the balance determines latency scalability.  The paper's
+Fig. 13(a) finding: Megatron's fewer sync points win at 2 devices, the
+all-gather dataflow scales best to 16, all-reduce saturates early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import P2pSpec
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import kv_cache_bytes
+from repro.parallel.collectives import (
+    SyncMethod,
+    layer_sync_plan,
+    visible_collective_time,
+)
+
+
+@dataclass(frozen=True)
+class TpLatencyModel:
+    """Decode-step latency under tensor parallelism.
+
+    The single-device body time is memory-dominated (decode), so the
+    sharded body is ``bytes / (D x effective bandwidth)``; synchronization
+    is overlapped according to the method's capability.
+    """
+
+    model: ModelConfig
+    memory_bandwidth: float
+    p2p: P2pSpec
+    bandwidth_utilization: float = 0.90
+
+    def __post_init__(self) -> None:
+        if self.memory_bandwidth <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if not 0 < self.bandwidth_utilization <= 1:
+            raise ValueError("bandwidth utilization must be in (0, 1]")
+
+    def _body_seconds(self, batch: int, context_len: int, devices: int) -> float:
+        bytes_per_device = (
+            self.model.active_param_bytes_per_token
+            + kv_cache_bytes(self.model, batch, context_len)
+        ) / devices
+        return bytes_per_device / (self.memory_bandwidth * self.bandwidth_utilization)
+
+    def decode_step_seconds(self, batch: int, context_len: int, devices: int,
+                            method: SyncMethod) -> float:
+        """One decode iteration including visible synchronization."""
+        if devices < 1:
+            raise ValueError("devices must be >= 1")
+        body = self._body_seconds(batch, context_len, devices)
+        if devices == 1:
+            return body
+        tensor_bytes = batch * self.model.hidden_size * self.model.dtype_bytes
+        plan = layer_sync_plan(method, tensor_bytes, devices)
+        sync = visible_collective_time(plan, self.p2p, self.model.num_layers, body)
+        return body + sync
+
+    def speedup(self, batch: int, context_len: int, devices: int,
+                method: SyncMethod) -> float:
+        """Latency speedup over single-device execution (Fig. 13a y-axis)."""
+        single = self.decode_step_seconds(batch, context_len, 1, method)
+        multi = self.decode_step_seconds(batch, context_len, devices, method)
+        return single / multi
+
+
+def tp_scalability_curve(
+    model: ModelConfig,
+    batch: int,
+    context_len: int,
+    device_counts: list[int],
+    memory_bandwidth: float,
+    p2p: P2pSpec,
+    method: SyncMethod,
+) -> list[float]:
+    """Speedup series over ``device_counts`` for one sync method."""
+    tp = TpLatencyModel(model, memory_bandwidth, p2p)
+    return [tp.speedup(batch, context_len, d, method) for d in device_counts]

@@ -1,0 +1,120 @@
+"""Coarse-Grained Reconfigurable Architecture (CGRA) baseline.
+
+Section II-C contrasts ADOR's HDA against a CGRA that morphs one core
+between GEMM-mode and GEMV-mode at runtime.  The CGRA pays three taxes
+the paper identifies:
+
+* **area** — switches and wires for reconfigurability make each MAC less
+  dense, so an equal-area CGRA carries fewer MACs ("less area
+  efficiency");
+* **energy** — the switching fabric burns extra energy per operation
+  ("poorer power efficiency"; the cited HDA study reports 41.3 %
+  savings);
+* **reconfiguration bubbles** — switching modes between the attention
+  GEMVs and the projection GEMMs of every layer stalls the fabric.
+
+The model reuses the HDA scheduler on a derated chip: the same die area
+buys ``1 / area_overhead`` of the MACs, every mode switch costs
+``reconfig_latency_s``, and the power model charges an energy overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.scheduling import AdorDeviceModel, SchedulerConfig
+from repro.hardware.chip import ChipKind, ChipSpec
+from repro.hardware.components import MacTree, SystolicArray
+from repro.models.config import ModelConfig
+from repro.perf.baselines import BaselineBreakdown, DeviceModel
+
+
+@dataclass(frozen=True)
+class CgraOverheads:
+    """The CGRA's taxes relative to fixed-function HDA units."""
+
+    area_overhead: float = 1.40
+    energy_overhead: float = 1.35
+    reconfig_latency_s: float = 1.5e-6
+    #: mode switches per decoder layer (GEMM mode <-> GEMV mode, twice:
+    #: into attention and back out)
+    switches_per_layer: int = 2
+
+    def __post_init__(self) -> None:
+        if self.area_overhead < 1.0 or self.energy_overhead < 1.0:
+            raise ValueError("CGRA overheads cannot be below 1.0")
+        if self.reconfig_latency_s < 0 or self.switches_per_layer < 0:
+            raise ValueError("reconfiguration costs must be non-negative")
+
+
+def cgra_equivalent_chip(hda: ChipSpec,
+                         overheads: CgraOverheads | None = None) -> ChipSpec:
+    """An equal-die-area CGRA: same memories/interconnect, fewer MACs.
+
+    The reconfigurable fabric's area tax shrinks the systolic array; the
+    MAC tree disappears (a CGRA reuses the same fabric in GEMV mode, so
+    its "MAC tree" capability is the derated array itself, represented
+    here as a minimal tree to keep the scheduler's GEMV path honest).
+    """
+    overheads = overheads or CgraOverheads()
+    array = hda.systolic_array
+    if array is None:
+        raise ValueError("need an HDA reference with a systolic array")
+    total_macs = hda.sa_macs + hda.mt_macs
+    budget = total_macs / overheads.area_overhead
+    per_core = budget / hda.cores
+    side = max(8, int(math.sqrt(per_core) // 8 * 8))
+    return hda.with_updates(
+        name=f"CGRA ({hda.name})",
+        systolic_array=SystolicArray(side, side),
+        mac_tree=MacTree(tree_size=max(1, side // 4), lanes=4),
+    )
+
+
+class CgraDeviceModel(DeviceModel):
+    """Stage-latency model of the equal-area CGRA."""
+
+    def __init__(self, hda_chip: ChipSpec,
+                 overheads: CgraOverheads | None = None) -> None:
+        if hda_chip.kind != ChipKind.ADOR_HDA:
+            raise ValueError("the CGRA baseline derives from an HDA chip")
+        self.overheads = overheads or CgraOverheads()
+        chip = cgra_equivalent_chip(hda_chip, self.overheads)
+        super().__init__(chip)
+        # the reconfigurable fabric streams GEMVs worse than a MAC tree:
+        # mode-switched operation exposes prefetch, like the SA-only case
+        self._inner = AdorDeviceModel(chip, use_mac_tree=False,
+                                      config=SchedulerConfig())
+
+    def _reconfig_seconds(self, model: ModelConfig) -> float:
+        return (model.num_layers * self.overheads.switches_per_layer
+                * self.overheads.reconfig_latency_s)
+
+    def prefill_time(self, model: ModelConfig, batch: int, seq_len: int,
+                     num_devices: int = 1) -> BaselineBreakdown:
+        base = self._inner.prefill_time(model, batch, seq_len, num_devices)
+        bubble = self._reconfig_seconds(model)
+        return BaselineBreakdown(
+            seconds=base.seconds + bubble,
+            weight_stream=base.weight_stream,
+            attention=base.attention,
+            compute=base.compute,
+            communication=base.communication,
+            overhead=base.overhead + bubble,
+        )
+
+    def decode_step_time(self, model: ModelConfig, batch: int,
+                         context_len: int,
+                         num_devices: int = 1) -> BaselineBreakdown:
+        base = self._inner.decode_step_time(model, batch, context_len,
+                                            num_devices)
+        bubble = self._reconfig_seconds(model)
+        return BaselineBreakdown(
+            seconds=base.seconds + bubble,
+            weight_stream=base.weight_stream,
+            attention=base.attention,
+            compute=base.compute,
+            communication=base.communication,
+            overhead=base.overhead + bubble,
+        )

@@ -1,0 +1,131 @@
+"""Cycle-accurate weight-stationary systolic-array reference simulator.
+
+The analytical model in :mod:`repro.perf.systolic` uses SCALE-Sim's
+closed-form cycle counts.  This module *checks* that form: it steps a
+small R x C weight-stationary array cycle by cycle — activations enter
+skewed at the west edge and hop east, partial sums flow south — and
+returns both the numerically computed GEMM result and the exact cycle
+count.  Property tests assert the numerics match ``numpy.matmul`` and
+the cycle counts match the analytical formula.
+
+It is a *reference*, deliberately unoptimized: O(cycles x R x C) per
+tile, intended for arrays up to a few dozen PEs in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReferenceRun:
+    """Outcome of a cycle-accurate GEMM execution."""
+
+    result: np.ndarray
+    total_cycles: int
+    compute_cycles: int
+    load_cycles: int
+    tiles: int
+
+
+class CycleAccurateSystolicArray:
+    """An R x C weight-stationary array stepped one cycle at a time."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        self.rows = rows
+        self.cols = cols
+
+    # ------------------------------------------------------------------ #
+    # One weight tile                                                     #
+    # ------------------------------------------------------------------ #
+
+    def run_tile(self, activations: np.ndarray,
+                 weights: np.ndarray) -> tuple[np.ndarray, int]:
+        """Stream ``activations [m, R]`` against a resident ``[R, C]`` tile.
+
+        Returns the ``[m, C]`` partial products and the exact cycle count
+        from first injection to last drain.
+        """
+        m, k = activations.shape
+        if k != self.rows:
+            raise ValueError("activation width must equal array rows")
+        if weights.shape != (self.rows, self.cols):
+            raise ValueError("weight tile must match the array")
+
+        act = np.zeros((self.rows, self.cols))
+        psum = np.zeros((self.rows, self.cols))
+        out = np.zeros((m, self.cols))
+        # output for activation row i leaves column c of the south edge at
+        # cycle i + c + rows - 1 (0-indexed), hence the horizon below
+        horizon = m + self.rows + self.cols - 2
+        for t in range(horizon):
+            # activations hop east
+            act[:, 1:] = act[:, :-1]
+            # skewed injection at the west edge: row r gets a[t-r][r]
+            for r in range(self.rows):
+                i = t - r
+                act[r, 0] = activations[i, r] if 0 <= i < m else 0.0
+            # partial sums hop south and accumulate this PE's product
+            shifted = np.zeros_like(psum)
+            shifted[1:, :] = psum[:-1, :]
+            psum = shifted + act * weights
+            # south edge drains one output element per column per cycle
+            for c in range(self.cols):
+                i = t - c - (self.rows - 1)
+                if 0 <= i < m:
+                    out[i, c] = psum[self.rows - 1, c]
+        return out, horizon
+
+    # ------------------------------------------------------------------ #
+    # Tiled GEMM                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run_gemm(self, a: np.ndarray, b: np.ndarray,
+                 double_buffered: bool = True) -> ReferenceRun:
+        """Full ``[m, K] x [K, N]`` GEMM via weight tiling.
+
+        Weight loads cost ``rows`` cycles each; with double buffering all
+        but the first hide behind the previous tile's compute (matching
+        the analytical model's pipeline-head treatment).
+        """
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError("inner dimensions disagree")
+        k_tiles = math.ceil(k / self.rows)
+        n_tiles = math.ceil(n / self.cols)
+        result = np.zeros((m, n))
+        compute_cycles = 0
+        load_cycles = 0
+        first = True
+        for kt in range(k_tiles):
+            k_lo, k_hi = kt * self.rows, min((kt + 1) * self.rows, k)
+            a_tile = np.zeros((m, self.rows))
+            a_tile[:, : k_hi - k_lo] = a[:, k_lo:k_hi]
+            for nt in range(n_tiles):
+                n_lo, n_hi = nt * self.cols, min((nt + 1) * self.cols, n)
+                w_tile = np.zeros((self.rows, self.cols))
+                w_tile[: k_hi - k_lo, : n_hi - n_lo] = b[k_lo:k_hi, n_lo:n_hi]
+                partial, cycles = self.run_tile(a_tile, w_tile)
+                result[:, n_lo:n_hi] += partial[:, : n_hi - n_lo]
+                compute_cycles += cycles
+                if first or not double_buffered:
+                    load_cycles += self.rows
+                first = False
+        return ReferenceRun(
+            result=result,
+            total_cycles=compute_cycles + load_cycles,
+            compute_cycles=compute_cycles,
+            load_cycles=load_cycles,
+            tiles=k_tiles * n_tiles,
+        )
+
+
+def analytical_tile_cycles(m: int, rows: int, cols: int) -> int:
+    """The closed form the analytical model uses for one tile."""
+    return m + rows + cols - 2

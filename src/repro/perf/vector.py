@@ -1,0 +1,50 @@
+"""Vector-unit timing for softmax, normalization and elementwise ops.
+
+Vector work is a small slice of LLM time but it gates the MAC units
+(softmax sits between the two attention products), so the scheduler
+charges it explicitly rather than hiding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.components import VectorUnit
+
+
+@dataclass(frozen=True)
+class VectorTimingModel:
+    """Timing for ``cores`` vector units."""
+
+    unit: VectorUnit
+    cores: int
+    frequency_hz: float
+    #: fixed per-operator cost (instruction issue, drain), seconds
+    op_overhead_s: float = 2e-7
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.op_overhead_s < 0:
+            raise ValueError("overhead must be non-negative")
+
+    @property
+    def elements_per_second(self) -> float:
+        return float(self.unit.width) * self.cores * self.frequency_hz
+
+    def elementwise(self, elements: float, passes: float = 1.0) -> float:
+        """Seconds for an elementwise op touching ``elements`` values."""
+        if elements < 0 or passes <= 0:
+            raise ValueError("elements must be >= 0, passes > 0")
+        return self.op_overhead_s + passes * elements / self.elements_per_second
+
+    def softmax(self, rows: int, width: int) -> float:
+        """Online-softmax over ``rows`` vectors of ``width``: 3 passes
+        (max, exp+sum, scale) fused into ~2 effective passes."""
+        return self.elementwise(float(rows) * width, passes=2.0)
+
+    def layernorm(self, rows: int, width: int) -> float:
+        """RMS/LayerNorm: statistics pass + scale pass."""
+        return self.elementwise(float(rows) * width, passes=2.0)

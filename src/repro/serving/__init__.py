@@ -1,0 +1,59 @@
+"""Serving simulator: the ADOR Simulator of Fig. 14(b).
+
+A discrete-event simulation of a real LLM serving endpoint: Poisson
+request arrivals with trace-driven token lengths, iteration-level
+continuous batching with chunked prefill, and QoS accounting (TTFT, TBT,
+E2E latency, throughput).  :mod:`repro.serving.capacity` binary-searches
+the maximum sustainable request rate under an SLO — the Fig. 16
+experiment.
+"""
+
+from repro.serving.request import Request, RequestState
+from repro.serving.dataset import ChatTraceConfig, ULTRACHAT_LIKE, sample_trace
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
+from repro.serving.engine import ServingEngine, SimulationResult
+from repro.serving.qos import QoSReport, compute_qos
+from repro.serving.capacity import CapacityResult, max_capacity_under_slo
+from repro.serving.utilization import UtilizationReport, utilization_report
+from repro.serving.policies import BatchingPolicy, simulate_policy
+from repro.serving.sessions import (
+    MultiTurnSessionGenerator,
+    SessionConfig,
+    SessionTurn,
+)
+from repro.serving.kv_allocator import KvBlockConfig, PagedKvAllocator
+from repro.serving.trace_io import (
+    export_timeline,
+    load_requests,
+    save_requests,
+)
+
+__all__ = [
+    "KvBlockConfig",
+    "PagedKvAllocator",
+    "export_timeline",
+    "load_requests",
+    "save_requests",
+    "BatchingPolicy",
+    "simulate_policy",
+    "MultiTurnSessionGenerator",
+    "SessionConfig",
+    "SessionTurn",
+    "Request",
+    "RequestState",
+    "ChatTraceConfig",
+    "ULTRACHAT_LIKE",
+    "sample_trace",
+    "PoissonRequestGenerator",
+    "ContinuousBatchingScheduler",
+    "SchedulerLimits",
+    "ServingEngine",
+    "SimulationResult",
+    "QoSReport",
+    "compute_qos",
+    "CapacityResult",
+    "max_capacity_under_slo",
+    "UtilizationReport",
+    "utilization_report",
+]

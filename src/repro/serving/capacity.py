@@ -1,0 +1,156 @@
+"""Maximum capacity under an SLO (paper Fig. 16).
+
+Binary-searches the highest Poisson arrival rate at which the simulated
+endpoint still meets its TBT (and optionally TTFT) SLO.  The paper's
+headline: the ADOR design sustains ~23 requests/sec serving LLaMA3-8B
+under a relaxed SLO on one device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import max_batch_for_memory
+from repro.perf.baselines import DeviceModel
+from repro.serving.dataset import ChatTraceConfig
+from repro.serving.engine import ServingEngine, SimulationResult
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.qos import QoSReport, compute_qos
+from repro.serving.scheduler import SchedulerLimits
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """Outcome of a capacity search."""
+
+    max_requests_per_s: float
+    qos_at_max: QoSReport
+    slo_tbt_s: float
+    slo_ttft_s: float | None
+    probes: tuple
+
+
+def _simulate_rate(
+    device: DeviceModel,
+    model: ModelConfig,
+    trace: ChatTraceConfig,
+    rate: float,
+    num_devices: int,
+    request_count: int,
+    seed: int,
+    max_sim_seconds: float,
+) -> tuple[SimulationResult, QoSReport | None]:
+    rng = np.random.default_rng(seed)
+    generator = PoissonRequestGenerator(trace, rate, rng)
+    requests = generator.generate(request_count)
+    # the horizon must cover the arrival span plus a generous drain
+    max_sim_seconds = max(max_sim_seconds,
+                          1.5 * request_count / rate + 120.0)
+    kv_budget = device.chip.dram.size_bytes * num_devices * 0.9 \
+        - model.param_bytes
+    limits = SchedulerLimits(
+        max_batch=max(1, max_batch_for_memory(
+            model, int(trace.mean_input + trace.mean_output),
+            device.chip.dram.size_bytes, num_devices)),
+        prefill_chunk_tokens=512,
+        kv_budget_bytes=max(kv_budget, 1.0),
+    )
+    engine = ServingEngine(device, model, limits, num_devices)
+    result = engine.run(requests, max_sim_seconds=max_sim_seconds)
+    if not result.finished:
+        return result, None
+    return result, compute_qos(result.finished, result.total_time_s)
+
+
+def _queue_is_stable(result: SimulationResult) -> bool:
+    """Detect an unbounded backlog: TTFT must not balloon over the run.
+
+    At a sustainable rate TTFT is roughly flat; past saturation every
+    later request waits behind a growing queue, so the second half's
+    median TTFT races away from the first half's.
+    """
+    finished = sorted(result.finished, key=lambda r: r.arrival_time)
+    if len(finished) < 8:
+        return True
+    half = len(finished) // 2
+    first = float(np.median([r.ttft for r in finished[:half]]))
+    second = float(np.median([r.ttft for r in finished[half:]]))
+    return second <= max(2.5 * first, 0.25)
+
+
+def _meets(result: SimulationResult, qos: QoSReport | None,
+           request_count: int, rate: float, slo_tbt_s: float,
+           slo_ttft_s: float | None, percentile: str) -> bool:
+    if qos is None:
+        return False
+    # the system must actually keep up: most requests finish in-horizon
+    if len(result.finished) < 0.9 * request_count:
+        return False
+    if not _queue_is_stable(result):
+        return False
+    if not qos.meets_tbt_slo(slo_tbt_s, percentile):
+        return False
+    if slo_ttft_s is not None and not qos.meets_ttft_slo(slo_ttft_s, percentile):
+        return False
+    return True
+
+
+def max_capacity_under_slo(
+    device: DeviceModel,
+    model: ModelConfig,
+    trace: ChatTraceConfig,
+    slo_tbt_s: float,
+    slo_ttft_s: float | None = None,
+    num_devices: int = 1,
+    request_count: int = 200,
+    seed: int = 7,
+    percentile: str = "p95",
+    rate_bounds: tuple = (0.25, 256.0),
+    iterations: int = 9,
+    max_sim_seconds: float = 600.0,
+) -> CapacityResult:
+    """Binary search for the highest SLO-compliant arrival rate.
+
+    The search brackets on (low = feasible, high = infeasible) and
+    reports the last feasible probe with its QoS.
+    """
+    if slo_tbt_s <= 0:
+        raise ValueError("TBT SLO must be positive")
+    low, high = rate_bounds
+    probes = []
+
+    def probe(rate: float) -> bool:
+        result, qos = _simulate_rate(device, model, trace, rate, num_devices,
+                                     request_count, seed, max_sim_seconds)
+        ok = _meets(result, qos, request_count, rate, slo_tbt_s, slo_ttft_s,
+                    percentile)
+        probes.append((rate, ok, qos))
+        return ok
+
+    if not probe(low):
+        result, qos = _simulate_rate(device, model, trace, low, num_devices,
+                                     request_count, seed, max_sim_seconds)
+        if qos is None:
+            raise RuntimeError(
+                "endpoint cannot finish any request at the minimum rate")
+        return CapacityResult(0.0, qos, slo_tbt_s, slo_ttft_s, tuple(probes))
+    if probe(high):
+        result, qos = _simulate_rate(device, model, trace, high, num_devices,
+                                     request_count, seed, max_sim_seconds)
+        return CapacityResult(high, qos, slo_tbt_s, slo_ttft_s, tuple(probes))
+
+    best_rate = low
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        if probe(mid):
+            low = mid
+            best_rate = mid
+        else:
+            high = mid
+    _, qos = _simulate_rate(device, model, trace, best_rate, num_devices,
+                            request_count, seed, max_sim_seconds)
+    assert qos is not None
+    return CapacityResult(best_rate, qos, slo_tbt_s, slo_ttft_s, tuple(probes))

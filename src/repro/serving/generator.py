@@ -1,0 +1,44 @@
+"""Poisson request generation (the Request Generator box of Fig. 14b).
+
+Inter-arrival times are exponential at the configured rate; token
+lengths come from a :class:`~repro.serving.dataset.ChatTraceConfig`.
+All randomness flows through one injected ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.dataset import ChatTraceConfig, sample_trace
+from repro.serving.request import Request
+
+
+class PoissonRequestGenerator:
+    """Generates request arrival schedules."""
+
+    def __init__(self, trace: ChatTraceConfig, rate_per_s: float,
+                 rng: np.random.Generator) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.trace = trace
+        self.rate = rate_per_s
+        self.rng = rng
+
+    def generate(self, count: int, start_time: float = 0.0) -> list[Request]:
+        """``count`` requests with Poisson arrivals from ``start_time``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return []
+        gaps = self.rng.exponential(1.0 / self.rate, size=count)
+        arrivals = start_time + np.cumsum(gaps)
+        lengths = sample_trace(self.trace, count, self.rng)
+        return [
+            Request(
+                request_id=i,
+                arrival_time=float(arrivals[i]),
+                input_tokens=lengths[i][0],
+                output_tokens=lengths[i][1],
+            )
+            for i in range(count)
+        ]

@@ -1,0 +1,139 @@
+"""Batching-policy baselines (paper Fig. 2b).
+
+The paper's Fig. 2(b) sketches how TTFT and TBT shift across three
+serving disciplines; this module makes each one runnable so the
+ablation bench can quantify the sketch:
+
+* **no batching** — requests are served one at a time, FIFO: superb TBT,
+  terrible throughput, queueing-dominated TTFT;
+* **static batching** — requests are grouped into fixed batches; the
+  whole batch prefills together and decodes until the *longest* member
+  finishes (stragglers hold the batch — the classic inefficiency);
+* **continuous batching** — the iteration-level scheduler of
+  :mod:`repro.serving.engine` (Orca-style), the paper's default.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.models.config import ModelConfig
+from repro.perf.baselines import DeviceModel
+from repro.serving.engine import ServingEngine, SimulationResult
+from repro.serving.request import Request
+from repro.serving.scheduler import SchedulerLimits
+
+
+class BatchingPolicy(enum.Enum):
+    NO_BATCHING = "no-batching"
+    STATIC = "static"
+    CONTINUOUS = "continuous"
+
+
+def _simulate_no_batching(device: DeviceModel, model: ModelConfig,
+                          requests: list, num_devices: int,
+                          max_sim_seconds: float) -> SimulationResult:
+    """One request at a time: prefill fully, then decode to completion."""
+    now = 0.0
+    finished: list[Request] = []
+    iterations = 0
+    busy = 0.0
+    decode_time = 0.0
+    prefill_time = 0.0
+    for request in sorted(requests, key=lambda r: r.arrival_time):
+        now = max(now, request.arrival_time)
+        if now > max_sim_seconds:
+            break
+        prefill = device.prefill_time(model, 1, request.input_tokens,
+                                      num_devices).seconds
+        now += prefill
+        busy += prefill
+        prefill_time += prefill
+        request.prefilled_tokens = request.input_tokens
+        while not request.done:
+            step = device.decode_step_time(model, 1, request.context_len,
+                                           num_devices).seconds
+            now += step
+            busy += step
+            decode_time += step
+            iterations += 1
+            request.record_token(now)
+        finished.append(request)
+    unfinished = [r for r in requests if r not in finished]
+    return SimulationResult(
+        finished=finished, unfinished=unfinished, total_time_s=now,
+        iterations=iterations, decode_steps=iterations,
+        busy_time_s=busy, decode_time_s=decode_time,
+        prefill_time_s=prefill_time,
+    )
+
+
+def _simulate_static(device: DeviceModel, model: ModelConfig,
+                     requests: list, batch_size: int, num_devices: int,
+                     max_sim_seconds: float) -> SimulationResult:
+    """Fixed batches; each batch decodes until its longest member ends."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    now = 0.0
+    finished: list[Request] = []
+    iterations = 0
+    busy = 0.0
+    decode_time = 0.0
+    prefill_time = 0.0
+    pending = sorted(requests, key=lambda r: r.arrival_time)
+    while pending and now <= max_sim_seconds:
+        batch = pending[:batch_size]
+        pending = pending[batch_size:]
+        now = max(now, max(r.arrival_time for r in batch))
+        longest_input = max(r.input_tokens for r in batch)
+        prefill = device.prefill_time(model, len(batch), longest_input,
+                                      num_devices).seconds
+        now += prefill
+        busy += prefill
+        prefill_time += prefill
+        for request in batch:
+            request.prefilled_tokens = request.input_tokens
+        longest_output = max(r.output_tokens for r in batch)
+        for _ in range(longest_output):
+            contexts = [r.context_len for r in batch]
+            mean_context = max(1, sum(contexts) // len(contexts))
+            # the whole batch occupies the device even after some members
+            # finish — the static policy's signature waste
+            step = device.decode_step_time(model, len(batch), mean_context,
+                                           num_devices).seconds
+            now += step
+            busy += step
+            decode_time += step
+            iterations += 1
+            for request in batch:
+                if not request.done:
+                    request.record_token(now)
+        finished.extend(batch)
+    return SimulationResult(
+        finished=finished, unfinished=pending, total_time_s=now,
+        iterations=iterations, decode_steps=iterations,
+        busy_time_s=busy, decode_time_s=decode_time,
+        prefill_time_s=prefill_time,
+    )
+
+
+def simulate_policy(
+    policy: BatchingPolicy,
+    device: DeviceModel,
+    model: ModelConfig,
+    requests: list,
+    batch_size: int = 32,
+    num_devices: int = 1,
+    max_sim_seconds: float = 3600.0,
+) -> SimulationResult:
+    """Run ``requests`` under the chosen batching discipline."""
+    if policy == BatchingPolicy.NO_BATCHING:
+        return _simulate_no_batching(device, model, requests, num_devices,
+                                     max_sim_seconds)
+    if policy == BatchingPolicy.STATIC:
+        return _simulate_static(device, model, requests, batch_size,
+                                num_devices, max_sim_seconds)
+    engine = ServingEngine(device, model,
+                           SchedulerLimits(max_batch=batch_size),
+                           num_devices)
+    return engine.run(requests, max_sim_seconds=max_sim_seconds)

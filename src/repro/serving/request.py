@@ -1,0 +1,88 @@
+"""Serving requests and their lifecycle timestamps.
+
+A request arrives with an input length and a target output length; the
+engine stamps prefill completion and every emitted token, from which the
+QoS calculator derives TTFT, TBT and end-to-end latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RequestState(enum.Enum):
+    QUEUED = "queued"        # arrived, not yet admitted
+    PREFILLING = "prefill"   # admitted, prompt being chunk-prefilled
+    DECODING = "decode"      # generating tokens
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One user request flowing through the simulator."""
+
+    request_id: int
+    arrival_time: float
+    input_tokens: int
+    output_tokens: int
+    state: RequestState = RequestState.QUEUED
+    prefilled_tokens: int = 0
+    generated_tokens: int = 0
+    first_token_time: float | None = None
+    finish_time: float | None = None
+    token_times: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1 or self.output_tokens < 1:
+            raise ValueError("requests need at least one input and output token")
+        if self.arrival_time < 0:
+            raise ValueError("arrival time must be non-negative")
+
+    @property
+    def context_len(self) -> int:
+        """Current KV length: prefilled prompt plus generated tokens."""
+        return self.prefilled_tokens + self.generated_tokens
+
+    @property
+    def prefill_remaining(self) -> int:
+        return self.input_tokens - self.prefilled_tokens
+
+    @property
+    def done(self) -> bool:
+        return self.generated_tokens >= self.output_tokens
+
+    # ------------------------------------------------------------------ #
+    # QoS per request                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (arrival -> first emission)."""
+        if self.first_token_time is None:
+            raise ValueError(f"request {self.request_id} has no first token")
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def tbt(self) -> float:
+        """Mean time between tokens after the first."""
+        if len(self.token_times) < 2:
+            return 0.0
+        return (self.token_times[-1] - self.token_times[0]) \
+            / (len(self.token_times) - 1)
+
+    @property
+    def e2e_latency(self) -> float:
+        if self.finish_time is None:
+            raise ValueError(f"request {self.request_id} is not finished")
+        return self.finish_time - self.arrival_time
+
+    def record_token(self, now: float) -> None:
+        """Stamp one generated token at simulation time ``now``."""
+        self.generated_tokens += 1
+        self.token_times.append(now)
+        if self.first_token_time is None:
+            self.first_token_time = now
+        if self.done:
+            self.finish_time = now
+            self.state = RequestState.FINISHED

@@ -1,0 +1,124 @@
+"""Iteration-level continuous-batching scheduler (the Task Manager +
+Scheduler of Fig. 14b).
+
+Each engine iteration the scheduler:
+
+1. admits queued requests while the decode batch and KV memory allow,
+2. selects a chunk of prefill tokens (Sarathi-style chunked prefill, so
+   decode steps are never starved by long prompts),
+3. hands the engine the decode batch and prefill chunk to execute.
+
+Admission control uses the KV-capacity math of
+:mod:`repro.models.kv_cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import kv_bytes_per_token
+from repro.serving.request import Request, RequestState
+
+
+@dataclass(frozen=True)
+class SchedulerLimits:
+    """Operational limits of the serving endpoint."""
+
+    max_batch: int = 256
+    prefill_chunk_tokens: int = 512
+    kv_budget_bytes: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1 or self.prefill_chunk_tokens < 1:
+            raise ValueError("limits must be >= 1")
+
+
+@dataclass
+class IterationPlan:
+    """What one engine iteration will execute."""
+
+    decode_requests: list = field(default_factory=list)
+    prefill_request: Request | None = None
+    prefill_tokens: int = 0
+
+    @property
+    def decode_batch(self) -> int:
+        return len(self.decode_requests)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.decode_requests) or self.prefill_tokens > 0
+
+
+class ContinuousBatchingScheduler:
+    """FIFO admission, chunked prefill, iteration-level batching."""
+
+    def __init__(self, model: ModelConfig, limits: SchedulerLimits) -> None:
+        self.model = model
+        self.limits = limits
+        self.queued: list[Request] = []
+        self.prefilling: list[Request] = []
+        self.decoding: list[Request] = []
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active_count(self) -> int:
+        return len(self.prefilling) + len(self.decoding)
+
+    def kv_bytes_in_use(self) -> float:
+        """Reserved KV bytes: each active request holds its full final
+        context (prompt + all output tokens) so admission never has to
+        evict mid-generation."""
+        per_token = kv_bytes_per_token(self.model)
+        active = self.prefilling + self.decoding
+        return sum(
+            (r.input_tokens + r.output_tokens) * per_token for r in active
+        )
+
+    def enqueue(self, request: Request) -> None:
+        if request.state != RequestState.QUEUED:
+            raise ValueError("only queued requests can be enqueued")
+        self.queued.append(request)
+
+    # ------------------------------------------------------------------ #
+    # Iteration planning                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _admit(self) -> None:
+        per_token = kv_bytes_per_token(self.model)
+        while self.queued and self.active_count < self.limits.max_batch:
+            candidate = self.queued[0]
+            projected = self.kv_bytes_in_use() + per_token * (
+                candidate.input_tokens + candidate.output_tokens)
+            if projected > self.limits.kv_budget_bytes:
+                break
+            self.queued.pop(0)
+            candidate.state = RequestState.PREFILLING
+            self.prefilling.append(candidate)
+
+    def plan_iteration(self) -> IterationPlan:
+        """Admit, pick the prefill chunk and the decode batch."""
+        self._admit()
+        plan = IterationPlan(decode_requests=list(self.decoding))
+        if self.prefilling:
+            head = self.prefilling[0]
+            plan.prefill_request = head
+            plan.prefill_tokens = min(self.limits.prefill_chunk_tokens,
+                                      head.prefill_remaining)
+        return plan
+
+    def complete_iteration(self, plan: IterationPlan) -> None:
+        """Apply state transitions after the engine executed ``plan``."""
+        if plan.prefill_request is not None:
+            request = plan.prefill_request
+            request.prefilled_tokens += plan.prefill_tokens
+            if request.prefill_remaining == 0:
+                self.prefilling.remove(request)
+                request.state = RequestState.DECODING
+                self.decoding.append(request)
+        self.decoding = [r for r in self.decoding
+                         if r.state != RequestState.FINISHED]

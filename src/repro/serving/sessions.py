@@ -1,0 +1,115 @@
+"""Multi-turn chat sessions (the workload behind ultrachat's statistics).
+
+A chat user sends follow-up turns whose prompts carry the running
+conversation; the serving system therefore sees correlated requests with
+growing inputs.  This generator produces such sessions — turn *t*'s
+input length is the accumulated history plus a fresh question — and
+flattens them into the arrival stream the engine consumes.
+
+The single-turn :class:`~repro.serving.dataset.ChatTraceConfig` marginals
+remain the calibration target: sessions are built so the *aggregate*
+distribution of effective input lengths matches the multi-turn ultrachat
+statistics DESIGN.md documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Shape of a multi-turn chat session."""
+
+    mean_turns: float = 3.7          # ultrachat's published average
+    question_median: float = 60.0    # fresh tokens per turn
+    question_sigma: float = 0.7
+    answer_median: float = 220.0
+    answer_sigma: float = 0.6
+    think_time_mean_s: float = 20.0  # user pause between turns
+    max_context: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.mean_turns < 1:
+            raise ValueError("sessions need at least one expected turn")
+        if self.think_time_mean_s < 0:
+            raise ValueError("think time must be non-negative")
+
+
+@dataclass(frozen=True)
+class SessionTurn:
+    """One turn with its accumulated context."""
+
+    session_id: int
+    turn_index: int
+    arrival_time: float
+    input_tokens: int    # history + fresh question
+    output_tokens: int
+
+
+class MultiTurnSessionGenerator:
+    """Generates sessions and flattens them into request streams."""
+
+    def __init__(self, config: SessionConfig,
+                 rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+
+    def _length(self, median: float, sigma: float) -> int:
+        return max(1, int(round(self.rng.lognormal(np.log(median), sigma))))
+
+    def generate_session(self, session_id: int,
+                         start_time: float) -> list[SessionTurn]:
+        """One session: geometric turn count, growing context."""
+        config = self.config
+        # geometric with the configured mean (>= 1 turn)
+        p = 1.0 / config.mean_turns
+        turns = 1 + self.rng.geometric(p) - 1
+        history = 0
+        now = start_time
+        out: list[SessionTurn] = []
+        for index in range(turns):
+            question = self._length(config.question_median,
+                                    config.question_sigma)
+            answer = self._length(config.answer_median, config.answer_sigma)
+            input_tokens = min(history + question, config.max_context)
+            out.append(SessionTurn(
+                session_id=session_id,
+                turn_index=index,
+                arrival_time=now,
+                input_tokens=input_tokens,
+                output_tokens=answer,
+            ))
+            history = min(input_tokens + answer, config.max_context)
+            now += self.rng.exponential(config.think_time_mean_s)
+        return out
+
+    def generate_stream(self, sessions: int,
+                        session_rate_per_s: float) -> list[Request]:
+        """Poisson session starts, flattened to a time-sorted request list."""
+        if sessions < 0:
+            raise ValueError("sessions must be non-negative")
+        if session_rate_per_s <= 0:
+            raise ValueError("session rate must be positive")
+        gaps = self.rng.exponential(1.0 / session_rate_per_s, size=sessions)
+        starts = np.cumsum(gaps)
+        turns: list[SessionTurn] = []
+        for sid in range(sessions):
+            turns.extend(self.generate_session(sid, float(starts[sid])))
+        turns.sort(key=lambda t: t.arrival_time)
+        return [
+            Request(
+                request_id=i,
+                arrival_time=turn.arrival_time,
+                input_tokens=turn.input_tokens,
+                output_tokens=turn.output_tokens,
+            )
+            for i, turn in enumerate(turns)
+        ]
+
+    def expected_requests_per_session(self) -> float:
+        return self.config.mean_turns

@@ -1,0 +1,66 @@
+"""Hardware utilization accounting (the Util. Calculator of Fig. 14b).
+
+Answers the vendor half of the QoS report: how busy the endpoint was,
+how its time split between prefill and decode, and what fraction of the
+DRAM bandwidth the decode traffic actually achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import ChipSpec
+from repro.models.config import ModelConfig
+from repro.models.kv_cache import kv_bytes_per_token
+from repro.serving.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Endpoint utilization over one simulation."""
+
+    busy_fraction: float
+    decode_fraction: float
+    prefill_fraction: float
+    decode_bandwidth_utilization: float
+    mean_decode_batch: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "busy fraction": self.busy_fraction,
+            "decode fraction": self.decode_fraction,
+            "prefill fraction": self.prefill_fraction,
+            "decode bandwidth utilization": self.decode_bandwidth_utilization,
+            "mean decode batch": self.mean_decode_batch,
+        }
+
+
+def utilization_report(result: SimulationResult, model: ModelConfig,
+                       chip: ChipSpec,
+                       num_devices: int = 1) -> UtilizationReport:
+    """Derive utilization metrics from a finished simulation."""
+    if result.total_time_s <= 0:
+        raise ValueError("simulation produced no time")
+    tokens = result.generated_tokens
+    # decode DRAM traffic: weights once per step + each token's KV history.
+    # Approximate KV traffic per token by half its final context (the
+    # integral of a linearly growing context).
+    finished = result.finished + result.unfinished
+    kv_per_token = kv_bytes_per_token(model)
+    kv_traffic = sum(
+        r.generated_tokens * (r.input_tokens + r.generated_tokens / 2)
+        * kv_per_token for r in finished
+    )
+    weight_traffic = result.decode_steps * model.active_param_bytes_per_token
+    ideal_seconds = (kv_traffic + weight_traffic) \
+        / (chip.memory_bandwidth * num_devices)
+    decode_bw_util = min(1.0, ideal_seconds / result.decode_time_s) \
+        if result.decode_time_s > 0 else 0.0
+    mean_batch = tokens / result.decode_steps if result.decode_steps else 0.0
+    return UtilizationReport(
+        busy_fraction=min(1.0, result.busy_time_s / result.total_time_s),
+        decode_fraction=result.decode_time_s / result.total_time_s,
+        prefill_fraction=result.prefill_time_s / result.total_time_s,
+        decode_bandwidth_utilization=decode_bw_util,
+        mean_decode_batch=mean_batch,
+    )

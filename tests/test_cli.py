@@ -1,0 +1,53 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import CHIP_PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_presets_parse(self):
+        parser = build_parser()
+        for preset in CHIP_PRESETS:
+            args = parser.parse_args(["evaluate", "--chip", preset])
+            assert args.chip == preset
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--chip", "tpu-v9"])
+
+
+class TestCommands:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "llama3-8b" in out
+        assert "mqa" in out
+
+    def test_evaluate_prints_qos_table(self, capsys):
+        code = main(["evaluate", "--chip", "ador", "--batches", "16", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TBT (tok/s)" in out
+        assert "ADOR Design" in out
+
+    def test_evaluate_baseline_chip(self, capsys):
+        assert main(["evaluate", "--chip", "a100", "--batches", "16"]) == 0
+        assert "A100" in capsys.readouterr().out
+
+    def test_serve_reports_qos(self, capsys):
+        code = main(["serve", "--rate", "5", "--requests", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TTFT" in out and "tokens/s" in out
+
+    def test_search_proposes_design(self, capsys):
+        code = main(["search", "--ttft-ms", "50", "--tbt-ms", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "proposed:" in out
+        assert "requirements met" in out

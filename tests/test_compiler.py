@@ -1,0 +1,135 @@
+"""Unit tests for the compiler stack (Fig. 14a)."""
+
+import pytest
+
+from repro.compiler.binary import build_model_binary
+from repro.compiler.generator import InstructionGenerator
+from repro.compiler.instructions import (
+    Instruction,
+    Opcode,
+    TargetUnit,
+    stream_summary,
+)
+from repro.hardware.presets import ador_table3
+from repro.models.graph import build_decode_graph, total_flops
+from repro.models.layers import Phase
+from repro.models.zoo import get_model
+
+
+@pytest.fixture
+def llama3():
+    return get_model("llama3-8b")
+
+
+@pytest.fixture
+def generator():
+    return InstructionGenerator(ador_table3())
+
+
+class TestInstructions:
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.GEMM, TargetUnit.SYSTOLIC_ARRAY, "x", flops=-1)
+
+    def test_str_mentions_opcode(self):
+        inst = Instruction(Opcode.GEMV, TargetUnit.MAC_TREE, "qkv",
+                           flops=1e9, bytes_moved=1e6)
+        assert "GEMV" in str(inst)
+
+    def test_stream_summary_aggregates(self):
+        insts = [
+            Instruction(Opcode.GEMM, TargetUnit.SYSTOLIC_ARRAY, "a", flops=10),
+            Instruction(Opcode.GEMM, TargetUnit.SYSTOLIC_ARRAY, "b", flops=5),
+            Instruction(Opcode.VOP, TargetUnit.VECTOR_UNIT, "c", flops=1),
+        ]
+        summary = stream_summary(insts)
+        assert summary["sa.flops"] == 15
+        assert summary["vu.flops"] == 1
+
+
+class TestModelBinary:
+    def test_total_bytes_match_params(self, llama3):
+        binary = build_model_binary(llama3, ador_table3())
+        assert binary.total_bytes == pytest.approx(llama3.param_bytes, rel=0.01)
+
+    def test_validates_against_chip(self, llama3):
+        binary = build_model_binary(llama3, ador_table3())
+        binary.validate_against(ador_table3())  # must not raise
+
+    def test_oversized_model_rejected(self):
+        llama70 = get_model("llama3-70b")
+        binary = build_model_binary(llama70, ador_table3(), num_devices=1)
+        with pytest.raises(ValueError, match="exceed"):
+            binary.validate_against(ador_table3())
+
+    def test_sharding_splits_bytes(self, llama3):
+        single = build_model_binary(llama3, ador_table3(), 1)
+        double = build_model_binary(llama3, ador_table3(), 2)
+        assert double.device_bytes(0) == pytest.approx(
+            single.device_bytes(0) / 2, rel=0.01)
+
+    def test_regions_spread_across_modules(self, llama3):
+        binary = build_model_binary(llama3, ador_table3())
+        modules = {r.dram_module for r in binary.regions}
+        assert len(modules) == ador_table3().dram.modules
+
+
+class TestInstructionGenerator:
+    def test_decode_routes_gemms_to_mac_tree(self, generator, llama3):
+        program = generator.compile(llama3, Phase.DECODE, 8, 1, 512)
+        gemvs = [i for i in program.instructions if i.opcode == Opcode.GEMV]
+        assert gemvs
+        assert all(i.target == TargetUnit.MAC_TREE for i in gemvs)
+
+    def test_prefill_routes_gemms_to_systolic(self, generator, llama3):
+        program = generator.compile(llama3, Phase.PREFILL, 1, 512, 512)
+        gemms = [i for i in program.instructions if i.opcode == Opcode.GEMM]
+        assert gemms
+        assert all(i.target == TargetUnit.SYSTOLIC_ARRAY for i in gemms)
+
+    def test_flops_conserved_vs_graph(self, generator, llama3):
+        """Compiled GEMM+ATTN flops match the operator graph's."""
+        program = generator.compile(llama3, Phase.DECODE, 8, 1, 512)
+        compiled = sum(i.flops for i in program.instructions
+                       if i.opcode in (Opcode.GEMV, Opcode.GEMM, Opcode.ATTN))
+        graph = build_decode_graph(llama3, 8, 512)
+        graph_flops = sum(
+            op.flops for op in
+            [graph.nodes[n]["operator"] for n in graph.nodes]
+            if op.kind.value in ("gemm", "attention"))
+        assert compiled == pytest.approx(graph_flops, rel=0.02)
+
+    def test_sync_points_twice_per_layer(self, generator, llama3):
+        program = generator.compile(llama3, Phase.DECODE, 8, 1, 512)
+        syncs = [i for i in program.instructions if i.opcode == Opcode.SYNC]
+        assert len(syncs) == 2 * llama3.num_layers
+
+    def test_comm_only_with_multiple_devices(self, generator, llama3):
+        single = generator.compile(llama3, Phase.DECODE, 8, 1, 512, 1)
+        multi = generator.compile(llama3, Phase.DECODE, 8, 1, 512, 4)
+        assert not [i for i in single.instructions if i.opcode == Opcode.COMM]
+        assert [i for i in multi.instructions if i.opcode == Opcode.COMM]
+
+    def test_barriers_per_layer(self, generator, llama3):
+        program = generator.compile(llama3, Phase.DECODE, 8, 1, 512)
+        barriers = [i for i in program.instructions
+                    if i.opcode == Opcode.BARRIER]
+        assert len(barriers) == llama3.num_layers
+
+    def test_decode_ends_with_lm_head(self, generator, llama3):
+        program = generator.compile(llama3, Phase.DECODE, 8, 1, 512)
+        assert program.instructions[-1].operand == "lm_head"
+
+    def test_per_unit_flops_report(self, generator, llama3):
+        program = generator.compile(llama3, Phase.DECODE, 8, 1, 512)
+        per_unit = program.per_unit_flops()
+        assert per_unit[TargetUnit.MAC_TREE] > 0
+        assert per_unit[TargetUnit.VECTOR_UNIT] > 0
+
+    def test_rejects_indivisible_sharding(self, generator, llama3):
+        with pytest.raises(ValueError):
+            generator.compile(llama3, Phase.DECODE, 8, 1, 512, num_devices=3)
+
+    def test_rejects_zero_batch(self, generator, llama3):
+        with pytest.raises(ValueError):
+            generator.compile(llama3, Phase.DECODE, 0, 1, 512)

@@ -1,0 +1,115 @@
+"""Unit tests for the ADOR architecture search (Fig. 9, Table III)."""
+
+import pytest
+
+from repro.core.requirements import (
+    SearchRequest,
+    ServiceLevelObjectives,
+    VendorConstraints,
+)
+from repro.core.search import AdorSearch
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def table3_result():
+    """The paper's Table III scenario: A100-class budget, LLaMA3-8B."""
+    request = SearchRequest(
+        model_names=("llama3-8b",),
+        slos=ServiceLevelObjectives(
+            ttft_slo_s=0.05, tbt_slo_s=0.030, batch_size=128, seq_len=1024),
+        vendor=VendorConstraints(area_budget_mm2=550.0),
+    )
+    return AdorSearch(request).run()
+
+
+class TestTable3Reproduction:
+    def test_requirements_met(self, table3_result):
+        assert table3_result.requirements_met
+
+    def test_selects_64x64_32_cores(self, table3_result):
+        chip = table3_result.best.chip
+        assert chip.systolic_array.rows == 64
+        assert chip.systolic_array.cols == 64
+        assert chip.cores == 32
+
+    def test_mac_tree_16x16(self, table3_result):
+        mt = table3_result.best.chip.mac_tree
+        assert mt.tree_size == 16
+        assert mt.lanes == 16
+
+    def test_memory_sizes(self, table3_result):
+        chip = table3_result.best.chip
+        assert chip.local_memory.size_bytes == 2048 * KIB
+        assert chip.global_memory.size_bytes == 16 * MIB
+
+    def test_die_area_near_516(self, table3_result):
+        assert table3_result.best.area_mm2 == pytest.approx(516.0, abs=5.0)
+
+    def test_peak_performance_near_417(self, table3_result):
+        assert table3_result.best.chip.peak_flops \
+            == pytest.approx(417.8e12, rel=0.01)
+
+    def test_log_records_candidates(self, table3_result):
+        assert any("selected" in line for line in table3_result.log)
+        assert len(table3_result.candidates) > 5
+
+
+class TestSearchMechanics:
+    def test_lane_rule_prefers_16_for_mqa_coverage(self):
+        request = SearchRequest(model_names=("llama3-8b",))
+        search = AdorSearch(request)
+        assert search.choose_mt_lanes(tree_size=16, cores=32) == 16
+
+    def test_local_memory_requirement_from_footprint(self):
+        request = SearchRequest(model_names=("llama3-8b",))
+        search = AdorSearch(request)
+        requirement = search.local_memory_requirement()
+        assert 1 * MIB < requirement <= 2 * MIB
+
+    def test_bigger_models_need_more_local_memory(self):
+        small = AdorSearch(SearchRequest(model_names=("llama3-8b",)))
+        large = AdorSearch(SearchRequest(model_names=("llama3-70b",)))
+        assert large.local_memory_requirement() \
+            > small.local_memory_requirement()
+
+    def test_p2p_single_device_is_minimum(self):
+        search = AdorSearch(SearchRequest(model_names=("llama3-8b",)))
+        assert search.choose_p2p_bandwidth(417e12) == 16e9
+
+    def test_p2p_multi_device_at_least_32gbps(self):
+        request = SearchRequest(model_names=("llama3-8b",), num_devices=8)
+        search = AdorSearch(request)
+        assert search.choose_p2p_bandwidth(417e12) >= 32e9
+
+
+class TestFeedbackPath:
+    def test_impossible_slo_triggers_relaxation(self):
+        """Unreachable TTFT: the search must relax and say so."""
+        request = SearchRequest(
+            model_names=("llama3-8b",),
+            slos=ServiceLevelObjectives(ttft_slo_s=1e-5, tbt_slo_s=1e-5,
+                                        batch_size=128, seq_len=1024),
+            vendor=VendorConstraints(area_budget_mm2=400.0),
+        )
+        result = AdorSearch(request).run(max_iterations=2)
+        assert not result.requirements_met
+        assert result.notes
+        assert any("relaxing" in line for line in result.log)
+
+    def test_relaxed_budget_reported_when_used(self):
+        """SLOs feasible only above the vendor budget -> met via feedback
+        with a note, or best-effort with a note."""
+        request = SearchRequest(
+            model_names=("llama3-8b",),
+            slos=ServiceLevelObjectives(ttft_slo_s=0.012, tbt_slo_s=0.021,
+                                        batch_size=128, seq_len=1024),
+            vendor=VendorConstraints(area_budget_mm2=450.0),
+        )
+        result = AdorSearch(request).run()
+        if result.requirements_met:
+            assert result.best.area_mm2 <= 450.0
+        else:
+            assert result.notes

@@ -1,0 +1,88 @@
+"""Unit tests for the energy/power model."""
+
+import pytest
+
+from repro.hardware.power import PowerModel
+from repro.hardware.presets import a100, ador_table3, h100, tpu_v4
+
+
+@pytest.fixture
+def pm():
+    return PowerModel()
+
+
+class TestTdp:
+    def test_published_tdp_wins(self, pm):
+        assert pm.tdp_w(a100()) == 400.0
+        assert pm.tdp_w(h100()) == 700.0
+        assert pm.tdp_w(tpu_v4()) == 275.0
+
+    def test_ador_estimate_in_plausible_envelope(self, pm):
+        """The ADOR design must sit well under GPU TDPs — a 516 mm^2
+        accelerator without SMT overheads."""
+        tdp = pm.tdp_w(ador_table3())
+        assert 200.0 < tdp < 500.0
+
+    def test_peak_dynamic_positive(self, pm):
+        assert pm.peak_dynamic_power_w(ador_table3()) > 0
+
+    def test_static_includes_floor(self, pm):
+        assert pm.static_power_w(ador_table3()) > pm.static_floor_w
+
+
+class TestWorkloadEnergy:
+    def test_components_non_negative(self, pm):
+        energy = pm.workload_energy(ador_table3(), 0.02, 1e12, 30e9)
+        for name, value in energy.as_dict().items():
+            assert value >= 0, name
+
+    def test_total_is_sum(self, pm):
+        energy = pm.workload_energy(ador_table3(), 0.02, 1e12, 30e9)
+        assert energy.total == pytest.approx(sum(energy.as_dict().values()))
+
+    def test_dram_traffic_dominates_decode(self, pm):
+        """Decode energy is memory-movement energy — the architectural
+        argument for maximizing bandwidth utilization."""
+        energy = pm.workload_energy(ador_table3(), 0.02,
+                                    flops=2.4e12, dram_bytes=36e9)
+        assert energy.dram > energy.compute
+
+    def test_mt_fraction_raises_compute_energy(self, pm):
+        base = pm.workload_energy(ador_table3(), 0.02, 1e12, 1e9,
+                                  mt_flop_fraction=0.0)
+        mt = pm.workload_energy(ador_table3(), 0.02, 1e12, 1e9,
+                                mt_flop_fraction=1.0)
+        assert mt.compute == pytest.approx(
+            base.compute * pm.mt_energy_penalty)
+
+    def test_denser_node_cheaper(self, pm):
+        from repro.hardware.technology import ProcessNode
+        chip_7nm = ador_table3()
+        chip_4nm = chip_7nm.with_updates(process=ProcessNode.NM_4)
+        e7 = pm.workload_energy(chip_7nm, 0.02, 1e12, 1e9).compute
+        e4 = pm.workload_energy(chip_4nm, 0.02, 1e12, 1e9).compute
+        assert e4 < e7
+
+    def test_rejects_negative_quantities(self, pm):
+        with pytest.raises(ValueError):
+            pm.workload_energy(ador_table3(), -1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            pm.workload_energy(ador_table3(), 1.0, 1.0, 1.0,
+                               mt_flop_fraction=2.0)
+
+
+class TestDerivedMetrics:
+    def test_average_power(self, pm):
+        power = pm.average_power_w(ador_table3(), 0.02,
+                                   flops=2.4e12, dram_bytes=36e9)
+        assert 100.0 < power < 400.0
+
+    def test_energy_per_token_scales_inverse_batch(self, pm):
+        chip = ador_table3()
+        one = pm.energy_per_token(chip, 0.02, 1, 2.4e12, 36e9)
+        many = pm.energy_per_token(chip, 0.02, 150, 2.4e12, 36e9)
+        assert many == pytest.approx(one / 150)
+
+    def test_rejects_zero_duration(self, pm):
+        with pytest.raises(ValueError):
+            pm.average_power_w(ador_table3(), 0.0, flops=1.0, dram_bytes=1.0)

@@ -1,0 +1,123 @@
+"""Unit + property tests for the paged KV allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.zoo import get_model
+from repro.serving.kv_allocator import KvBlockConfig, PagedKvAllocator
+
+GIB = 1024 ** 3
+
+
+def make_allocator(pool_gib=4.0, block_tokens=16):
+    model = get_model("llama3-8b")  # 128 KiB KV per token
+    return PagedKvAllocator(model, KvBlockConfig(
+        block_tokens=block_tokens, pool_bytes=pool_gib * GIB))
+
+
+class TestLifecycle:
+    def test_admit_and_release_roundtrip(self):
+        allocator = make_allocator()
+        free = allocator.free_blocks
+        allocator.admit(1, prompt_tokens=100)
+        assert allocator.used_blocks == allocator.blocks_for_tokens(100)
+        assert allocator.release(1) == allocator.blocks_for_tokens(100)
+        assert allocator.free_blocks == free
+
+    def test_append_uses_block_slack_first(self):
+        allocator = make_allocator(block_tokens=16)
+        allocator.admit(1, prompt_tokens=17)  # 2 blocks, 15 slack tokens
+        used = allocator.used_blocks
+        for _ in range(15):
+            assert allocator.append_token(1)
+        assert allocator.used_blocks == used
+        assert allocator.append_token(1)  # 33rd token takes a new block
+        assert allocator.used_blocks == used + 1
+
+    def test_append_fails_when_pool_full(self):
+        allocator = make_allocator(pool_gib=0.01)  # ~5 blocks
+        allocator.admit(1, prompt_tokens=allocator.total_blocks * 16)
+        assert not allocator.append_token(1)
+
+    def test_double_admit_rejected(self):
+        allocator = make_allocator()
+        allocator.admit(1, 10)
+        with pytest.raises(ValueError):
+            allocator.admit(1, 10)
+
+    def test_admit_over_capacity_raises(self):
+        allocator = make_allocator(pool_gib=0.01)
+        with pytest.raises(MemoryError):
+            allocator.admit(1, prompt_tokens=10**6)
+
+    def test_unknown_request_operations_raise(self):
+        allocator = make_allocator()
+        with pytest.raises(KeyError):
+            allocator.append_token(9)
+        with pytest.raises(KeyError):
+            allocator.release(9)
+
+
+class TestAccounting:
+    def test_fragmentation_bounded_by_one_block_per_request(self):
+        allocator = make_allocator(block_tokens=16)
+        for rid in range(10):
+            allocator.admit(rid, prompt_tokens=17)
+        frag = allocator.internal_fragmentation()
+        bound = 10 * 16 * allocator.bytes_per_token
+        assert 0 < frag < bound
+
+    def test_utilization_between_zero_and_one(self):
+        allocator = make_allocator()
+        assert allocator.utilization() == 0.0
+        allocator.admit(1, 1000)
+        assert 0.0 < allocator.utilization() <= 1.0
+
+    def test_paged_admits_more_than_reservation(self):
+        """The PagedAttention headline: admission scales with prompt
+        bytes, not prompt+output reservations."""
+        allocator = make_allocator()
+        paged, reserved = allocator.max_admissible_prompts(
+            prompt_tokens=256, output_tokens=768)
+        assert paged >= 3 * reserved
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            KvBlockConfig(block_tokens=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    prompts=st.lists(st.integers(1, 500), min_size=1, max_size=20),
+    block_tokens=st.sampled_from([8, 16, 32]),
+)
+def test_property_block_conservation(prompts, block_tokens):
+    """Blocks used always equal the sum over live allocations, and all
+    blocks return on release."""
+    allocator = make_allocator(pool_gib=16.0, block_tokens=block_tokens)
+    admitted = []
+    for rid, prompt in enumerate(prompts):
+        if allocator.can_admit(prompt):
+            allocator.admit(rid, prompt)
+            admitted.append((rid, prompt))
+    expected = sum(allocator.blocks_for_tokens(p) for _, p in admitted)
+    assert allocator.used_blocks == expected
+    for rid, _ in admitted:
+        allocator.release(rid)
+    assert allocator.used_blocks == 0
+    assert allocator.internal_fragmentation() == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(appends=st.integers(0, 200))
+def test_property_append_token_accounting(appends):
+    allocator = make_allocator(pool_gib=8.0, block_tokens=16)
+    allocator.admit(0, prompt_tokens=10)
+    grown = 0
+    for _ in range(appends):
+        if allocator.append_token(0):
+            grown += 1
+    # tokens tracked exactly; blocks cover tokens with < 1 block slack
+    allocation = allocator._allocations[0]
+    assert allocation.tokens == 10 + grown
+    assert allocation.blocks == allocator.blocks_for_tokens(allocation.tokens)

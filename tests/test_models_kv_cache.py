@@ -1,0 +1,82 @@
+"""Unit tests for KV-cache byte accounting (paper Fig. 3a)."""
+
+import pytest
+
+from repro.models.kv_cache import (
+    kv_bytes_per_token,
+    kv_cache_bytes,
+    kv_fraction_of_traffic,
+    max_batch_for_memory,
+)
+from repro.models.zoo import get_model
+
+
+class TestKvBytes:
+    def test_llama3_8b_per_token(self):
+        model = get_model("llama3-8b")
+        # 2 tensors x 32 layers x 8 kv heads x 128 dims x 2 bytes = 128 KiB
+        assert kv_bytes_per_token(model) == 131072
+
+    def test_gqa_shrinks_cache_vs_mha(self):
+        mha = get_model("llama2-7b")
+        gqa = get_model("llama3-8b")
+        assert kv_bytes_per_token(gqa) == kv_bytes_per_token(mha) // 4
+
+    def test_mqa_is_tiny(self):
+        falcon = get_model("falcon-7b")
+        # 2 x 32 layers x 1 head x 64 dims x 2 bytes
+        assert kv_bytes_per_token(falcon) == 2 * 32 * 64 * 2
+
+    def test_cache_bytes_linear_in_batch_and_seq(self):
+        model = get_model("llama3-8b")
+        base = kv_cache_bytes(model, 1, 100)
+        assert kv_cache_bytes(model, 7, 100) == 7 * base
+        assert kv_cache_bytes(model, 1, 700) == 7 * base
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            kv_cache_bytes(get_model("llama3-8b"), -1, 10)
+
+
+class TestKvFraction:
+    """Fig. 3(a): KV dominates traffic at large batch."""
+
+    def test_exceeds_90_percent_at_batch_128_seq_8192(self):
+        model = get_model("llama3-8b")
+        assert kv_fraction_of_traffic(model, 128, 8192) > 0.9
+
+    def test_monotonic_in_batch(self):
+        model = get_model("qwen2-7b")
+        fractions = [kv_fraction_of_traffic(model, b, 8192)
+                     for b in (1, 16, 64, 128)]
+        assert fractions == sorted(fractions)
+
+    def test_zero_batch_means_zero_fraction(self):
+        assert kv_fraction_of_traffic(get_model("llama3-8b"), 0, 8192) == 0.0
+
+    def test_all_fig3a_models_cross_half_by_batch_64(self):
+        for name in ("qwen2-7b", "llama3-8b", "gemma2-9b", "mixtral-8x7b"):
+            model = get_model(name)
+            assert kv_fraction_of_traffic(model, 64, 8192) > 0.5, name
+
+
+class TestMaxBatch:
+    def test_a100_capacity_for_llama3(self):
+        model = get_model("llama3-8b")
+        batch = max_batch_for_memory(model, 1024, 80 * 2**30)
+        # 80 GiB minus ~16 GiB weights leaves room for hundreds of requests
+        assert 400 < batch < 600
+
+    def test_zero_when_weights_do_not_fit(self):
+        model = get_model("llama3-70b")
+        assert max_batch_for_memory(model, 1024, 80 * 2**30) == 0
+
+    def test_scales_with_devices(self):
+        model = get_model("llama3-8b")
+        one = max_batch_for_memory(model, 1024, 80 * 2**30, num_devices=1)
+        two = max_batch_for_memory(model, 1024, 80 * 2**30, num_devices=2)
+        assert two > 2 * one  # weights amortize across devices
+
+    def test_rejects_bad_seq(self):
+        with pytest.raises(ValueError):
+            max_batch_for_memory(get_model("llama3-8b"), 0, 2**30)

@@ -1,0 +1,104 @@
+"""Unit tests for Pareto analysis and hybrid TP x PP planning."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    dominates,
+    normalized_distance_to_utopia,
+    pareto_frontier,
+)
+from repro.hardware.interconnect import P2pSpec
+from repro.models.zoo import get_model
+from repro.parallel.collectives import SyncMethod
+from repro.parallel.hybrid import HybridParallelPlanner
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+
+    def test_no_self_dominance(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (2, 1))
+        assert not dominates((2, 1), (1, 3))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestFrontier:
+    POINTS = [
+        {"name": "fast-big", "latency": 1.0, "area": 10.0},
+        {"name": "slow-small", "latency": 5.0, "area": 2.0},
+        {"name": "balanced", "latency": 2.0, "area": 4.0},
+        {"name": "dominated", "latency": 3.0, "area": 5.0},
+    ]
+
+    def _frontier(self):
+        return pareto_frontier(
+            self.POINTS, lambda p: (p["latency"], p["area"]))
+
+    def test_dominated_point_removed(self):
+        names = {p["name"] for p in self._frontier()}
+        assert "dominated" not in names
+        assert names == {"fast-big", "slow-small", "balanced"}
+
+    def test_frontier_of_frontier_is_identity(self):
+        frontier = self._frontier()
+        again = pareto_frontier(frontier, lambda p: (p["latency"], p["area"]))
+        assert again == frontier
+
+    def test_single_point_is_frontier(self):
+        assert pareto_frontier([{"latency": 1}],
+                               lambda p: (p["latency"],)) != []
+
+    def test_utopia_distance_ranks_balanced_designs(self):
+        frontier = self._frontier()
+        vectors = [(p["latency"], p["area"]) for p in frontier]
+        distances = {p["name"]: normalized_distance_to_utopia(
+            (p["latency"], p["area"]), vectors) for p in frontier}
+        # the balanced point is closer to utopia than either extreme
+        assert distances["balanced"] < distances["fast-big"]
+        assert distances["balanced"] < distances["slow-small"]
+
+
+class TestHybridPlanner:
+    @pytest.fixture
+    def planner(self):
+        return HybridParallelPlanner(get_model("llama3-70b"), 2e12,
+                                     P2pSpec(64e9))
+
+    def test_factorizations_cover_device_count(self, planner):
+        for tp, pp in planner.factorizations(8):
+            assert tp * pp == 8
+            assert get_model("llama3-70b").num_heads % tp == 0
+
+    def test_pure_tp_wins_latency(self, planner):
+        """The paper's conclusion: PP gives no latency benefit, so the
+        latency-optimal plan is pure TP."""
+        best = planner.best_for_latency(8, batch=64, context_len=1024)
+        assert best.pp == 1
+        assert best.tp == 8
+
+    def test_sync_method_follows_mapper_rule(self, planner):
+        plan = planner.evaluate(2, 4, 64, 1024)
+        assert plan.sync_method == SyncMethod.MEGATRON
+        plan = planner.evaluate(8, 1, 64, 1024)
+        assert plan.sync_method == SyncMethod.ALL_GATHER
+
+    def test_latency_monotone_in_pp_at_fixed_tp(self, planner):
+        shallow = planner.evaluate(2, 1, 64, 1024)
+        deep = planner.evaluate(2, 4, 64, 1024)
+        assert deep.decode_step_seconds > shallow.decode_step_seconds
+
+    def test_plans_nonempty_for_powers_of_two(self, planner):
+        for devices in (1, 2, 4, 8, 16):
+            assert planner.plans(devices, 32, 1024)
+
+    def test_rejects_zero_devices(self, planner):
+        with pytest.raises(ValueError):
+            planner.factorizations(0)

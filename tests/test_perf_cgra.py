@@ -1,0 +1,66 @@
+"""Unit tests for the CGRA baseline (paper Section II-C)."""
+
+import pytest
+
+from repro.core.scheduling import AdorDeviceModel
+from repro.hardware.presets import a100, ador_table3
+from repro.models.zoo import get_model
+from repro.perf.cgra import CgraDeviceModel, CgraOverheads, cgra_equivalent_chip
+
+
+@pytest.fixture
+def llama3():
+    return get_model("llama3-8b")
+
+
+class TestEquivalentChip:
+    def test_fewer_macs_at_equal_area(self):
+        hda = ador_table3()
+        cgra = cgra_equivalent_chip(hda)
+        hda_macs = hda.sa_macs + hda.mt_macs
+        cgra_macs = cgra.sa_macs + cgra.mt_macs
+        assert cgra_macs < hda_macs
+        assert cgra_macs > hda_macs / 2  # the tax is real but bounded
+
+    def test_memories_carried_over(self):
+        hda = ador_table3()
+        cgra = cgra_equivalent_chip(hda)
+        assert cgra.local_memory == hda.local_memory
+        assert cgra.dram == hda.dram
+
+    def test_rejects_overheads_below_one(self):
+        with pytest.raises(ValueError):
+            CgraOverheads(area_overhead=0.9)
+
+    def test_rejects_non_hda(self):
+        with pytest.raises(ValueError):
+            CgraDeviceModel(a100())
+
+
+class TestCgraPerformance:
+    def test_hda_beats_cgra_on_decode(self, llama3):
+        """The paper's HDA-vs-CGRA argument, end to end."""
+        hda = AdorDeviceModel(ador_table3())
+        cgra = CgraDeviceModel(ador_table3())
+        hda_step = hda.decode_step_time(llama3, 32, 1024).seconds
+        cgra_step = cgra.decode_step_time(llama3, 32, 1024).seconds
+        assert cgra_step > 1.2 * hda_step
+
+    def test_hda_beats_cgra_on_prefill(self, llama3):
+        hda = AdorDeviceModel(ador_table3())
+        cgra = CgraDeviceModel(ador_table3())
+        assert cgra.prefill_time(llama3, 1, 1024).seconds \
+            > hda.prefill_time(llama3, 1, 1024).seconds
+
+    def test_reconfiguration_bubble_charged(self, llama3):
+        cheap = CgraDeviceModel(ador_table3(),
+                                CgraOverheads(reconfig_latency_s=0.0))
+        costly = CgraDeviceModel(ador_table3(),
+                                 CgraOverheads(reconfig_latency_s=5e-6))
+        assert costly.decode_step_time(llama3, 32, 1024).seconds \
+            > cheap.decode_step_time(llama3, 32, 1024).seconds
+
+    def test_overhead_reported_in_breakdown(self, llama3):
+        cgra = CgraDeviceModel(ador_table3())
+        step = cgra.decode_step_time(llama3, 32, 1024)
+        assert step.overhead >= cgra._reconfig_seconds(llama3)

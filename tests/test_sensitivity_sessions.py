@@ -1,0 +1,132 @@
+"""Unit tests for sensitivity analysis and multi-turn sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import (
+    most_sensitive_knob,
+    sensitivity_table,
+)
+from repro.hardware.presets import ador_table3
+from repro.models.zoo import get_model
+from repro.serving.sessions import (
+    MultiTurnSessionGenerator,
+    SessionConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def llama3():
+    return get_model("llama3-8b")
+
+
+@pytest.fixture(scope="module")
+def rows(llama3):
+    return sensitivity_table(ador_table3(), llama3, batch=128, seq_len=1024)
+
+
+class TestSensitivity:
+    def test_all_knobs_covered(self, rows):
+        knobs = {row.knob for row in rows}
+        assert {"memory bandwidth", "cores", "systolic array",
+                "MAC-tree lanes", "NoC bandwidth", "P2P bandwidth"} <= knobs
+
+    def test_decode_most_sensitive_to_bandwidth(self, rows):
+        """The paper's central claim: decode is a bandwidth story."""
+        assert most_sensitive_knob(rows, "tbt") == "memory bandwidth"
+
+    def test_halving_bandwidth_doubles_tbt(self, rows):
+        row = next(r for r in rows
+                   if r.knob == "memory bandwidth" and r.direction == "x0.5")
+        assert 0.7 < row.tbt_change < 1.2  # ~2x step time
+
+    def test_doubling_bandwidth_speeds_decode(self, rows):
+        row = next(r for r in rows
+                   if r.knob == "memory bandwidth" and r.direction == "x2")
+        assert row.tbt_change < -0.3
+
+    def test_noc_halving_barely_matters(self, rows):
+        """The all-gather dataflow keeps NoC demand tiny (Fig. 6d)."""
+        row = next(r for r in rows if r.knob == "NoC bandwidth")
+        assert abs(row.tbt_change) < 0.05
+
+    def test_p2p_irrelevant_single_device(self, rows):
+        row = next(r for r in rows if r.knob == "P2P bandwidth")
+        assert abs(row.tbt_change) < 1e-9
+        assert row.area_change < 0  # smaller SerDes
+
+    def test_more_cores_cost_area(self, rows):
+        row = next(r for r in rows
+                   if r.knob == "cores" and r.direction == "x2")
+        assert row.area_change > 0.3
+
+    def test_prefill_sensitive_to_systolic_size(self, rows):
+        grown = next(r for r in rows
+                     if r.knob == "systolic array"
+                     and r.direction == "double side")
+        assert grown.ttft_change < -0.2  # 4x MACs: much faster prefill
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError):
+            most_sensitive_knob([])
+
+
+class TestSessions:
+    def _generator(self, seed=0, **overrides):
+        config = SessionConfig(**overrides)
+        return MultiTurnSessionGenerator(config, np.random.default_rng(seed))
+
+    def test_context_grows_across_turns(self):
+        generator = self._generator(seed=1)
+        for sid in range(20):
+            session = generator.generate_session(sid, 0.0)
+            inputs = [turn.input_tokens for turn in session]
+            assert inputs == sorted(inputs), f"session {sid}"
+
+    def test_turn_count_mean_matches_config(self):
+        generator = self._generator(seed=2, mean_turns=3.7)
+        counts = [len(generator.generate_session(i, 0.0))
+                  for i in range(4000)]
+        assert np.mean(counts) == pytest.approx(3.7, rel=0.1)
+
+    def test_context_capped(self):
+        generator = self._generator(seed=3, max_context=512)
+        for sid in range(50):
+            for turn in generator.generate_session(sid, 0.0):
+                assert turn.input_tokens <= 512
+
+    def test_stream_is_time_sorted(self):
+        generator = self._generator(seed=4)
+        stream = generator.generate_stream(50, session_rate_per_s=2.0)
+        arrivals = [r.arrival_time for r in stream]
+        assert arrivals == sorted(arrivals)
+
+    def test_stream_request_count_scales_with_turns(self):
+        generator = self._generator(seed=5, mean_turns=3.7)
+        stream = generator.generate_stream(500, session_rate_per_s=5.0)
+        assert len(stream) == pytest.approx(500 * 3.7, rel=0.15)
+
+    def test_multiturn_inputs_heavier_than_single_turn(self):
+        """Accumulated history makes the mean effective input much larger
+        than one fresh question — the ultrachat calibration story."""
+        generator = self._generator(seed=6)
+        stream = generator.generate_stream(300, session_rate_per_s=5.0)
+        mean_input = np.mean([r.input_tokens for r in stream])
+        assert mean_input > 3 * SessionConfig().question_median
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            SessionConfig(mean_turns=0.5)
+        with pytest.raises(ValueError):
+            self._generator().generate_stream(10, 0.0)
+
+    def test_sessions_run_through_engine(self, llama3):
+        from repro.core.scheduling import AdorDeviceModel
+        from repro.serving.engine import ServingEngine
+        from repro.serving.scheduler import SchedulerLimits
+        generator = self._generator(seed=7)
+        stream = generator.generate_stream(20, session_rate_per_s=2.0)
+        engine = ServingEngine(AdorDeviceModel(ador_table3()), llama3,
+                               SchedulerLimits(max_batch=64))
+        result = engine.run(stream, max_sim_seconds=600.0)
+        assert len(result.finished) == len(stream)

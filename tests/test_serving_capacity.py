@@ -1,0 +1,54 @@
+"""Unit tests for the max-capacity-under-SLO search (paper Fig. 16)."""
+
+import pytest
+
+from repro.core.scheduling import AdorDeviceModel
+from repro.hardware.presets import ador_table3
+from repro.models.zoo import get_model
+from repro.serving.capacity import max_capacity_under_slo
+from repro.serving.dataset import ULTRACHAT_LIKE
+
+
+@pytest.fixture(scope="module")
+def llama3():
+    return get_model("llama3-8b")
+
+
+@pytest.fixture(scope="module")
+def device():
+    return AdorDeviceModel(ador_table3())
+
+
+def search(device, llama3, slo_s, **kwargs):
+    defaults = dict(request_count=80, iterations=5,
+                    rate_bounds=(0.5, 128.0), max_sim_seconds=400.0)
+    defaults.update(kwargs)
+    return max_capacity_under_slo(device, llama3, ULTRACHAT_LIKE,
+                                  slo_tbt_s=slo_s, **defaults)
+
+
+class TestCapacitySearch:
+    def test_relaxed_slo_capacity_positive(self, device, llama3):
+        result = search(device, llama3, 0.050)
+        assert result.max_requests_per_s > 5.0
+
+    def test_strict_slo_not_above_relaxed(self, device, llama3):
+        strict = search(device, llama3, 0.025)
+        relaxed = search(device, llama3, 0.050)
+        assert strict.max_requests_per_s <= relaxed.max_requests_per_s
+
+    def test_qos_at_max_meets_slo(self, device, llama3):
+        result = search(device, llama3, 0.050)
+        assert result.qos_at_max.tbt_p95_s <= 0.050
+
+    def test_probes_recorded(self, device, llama3):
+        result = search(device, llama3, 0.050, iterations=3)
+        assert len(result.probes) >= 3
+
+    def test_impossible_slo_gives_zero(self, device, llama3):
+        result = search(device, llama3, 1e-6, iterations=2)
+        assert result.max_requests_per_s == 0.0
+
+    def test_rejects_bad_slo(self, device, llama3):
+        with pytest.raises(ValueError):
+            max_capacity_under_slo(device, llama3, ULTRACHAT_LIKE, 0.0)

@@ -1,0 +1,94 @@
+"""Unit tests for the batching-policy baselines (paper Fig. 2b)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import AdorDeviceModel
+from repro.hardware.presets import ador_table3
+from repro.models.zoo import get_model
+from repro.serving.dataset import fixed_trace
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.policies import BatchingPolicy, simulate_policy
+from repro.serving.qos import compute_qos
+
+
+@pytest.fixture(scope="module")
+def llama3():
+    return get_model("llama3-8b")
+
+
+@pytest.fixture(scope="module")
+def device():
+    return AdorDeviceModel(ador_table3())
+
+
+def make_requests(count=24, rate=6.0, seed=3):
+    rng = np.random.default_rng(seed)
+    trace = fixed_trace(256, 64)
+    return PoissonRequestGenerator(trace, rate, rng).generate(count)
+
+
+def run(policy, device, llama3, requests, **kwargs):
+    result = simulate_policy(policy, device, llama3,
+                             copy.deepcopy(requests), **kwargs)
+    qos = compute_qos(result.finished, result.total_time_s)
+    return result, qos
+
+
+class TestPolicies:
+    def test_all_policies_finish_everything(self, device, llama3):
+        requests = make_requests()
+        for policy in BatchingPolicy:
+            result, _ = run(policy, device, llama3, requests)
+            assert len(result.finished) == len(requests), policy
+
+    def test_no_batching_tbt_competitive(self, device, llama3):
+        """Per-token latency of serial service is near the best.  It is
+        not strictly the best on ADOR: the Fig. 10 bandwidth curve
+        rewards batched steps with higher DRAM utilization, so a batched
+        step can be *absolutely* faster than a batch-1 step."""
+        requests = make_requests()
+        tbts = {policy: run(policy, device, llama3, requests)[1].tbt_mean_s
+                for policy in BatchingPolicy}
+        assert tbts[BatchingPolicy.NO_BATCHING] \
+            <= 1.10 * min(tbts.values())
+
+    def test_no_batching_has_worst_completion_time(self, device, llama3):
+        """Serial service is QoS-friendly per token but cannot keep up."""
+        requests = make_requests()
+        totals = {policy: run(policy, device, llama3, requests)[0].total_time_s
+                  for policy in BatchingPolicy}
+        assert totals[BatchingPolicy.NO_BATCHING] == max(totals.values())
+
+    def test_continuous_beats_static_on_ttft(self, device, llama3):
+        """Static batches make late arrivals wait for batch formation and
+        stragglers; continuous batching admits at iteration granularity."""
+        requests = make_requests(count=32, rate=8.0)
+        _, static_qos = run(BatchingPolicy.STATIC, device, llama3, requests,
+                            batch_size=16)
+        _, cont_qos = run(BatchingPolicy.CONTINUOUS, device, llama3,
+                          requests, batch_size=16)
+        assert cont_qos.ttft_p95_s < static_qos.ttft_p95_s
+
+    def test_continuous_throughput_at_least_static(self, device, llama3):
+        requests = make_requests(count=32, rate=8.0)
+        static_result, _ = run(BatchingPolicy.STATIC, device, llama3,
+                               requests, batch_size=16)
+        cont_result, _ = run(BatchingPolicy.CONTINUOUS, device, llama3,
+                             requests, batch_size=16)
+        assert cont_result.total_time_s <= static_result.total_time_s * 1.05
+
+    def test_static_rejects_bad_batch(self, device, llama3):
+        with pytest.raises(ValueError):
+            simulate_policy(BatchingPolicy.STATIC, device, llama3,
+                            make_requests(4), batch_size=0)
+
+    def test_token_conservation_across_policies(self, device, llama3):
+        requests = make_requests(count=12)
+        expected = sum(r.output_tokens for r in requests)
+        for policy in BatchingPolicy:
+            result, _ = run(policy, device, llama3, requests)
+            generated = sum(r.generated_tokens for r in result.finished)
+            assert generated == expected, policy

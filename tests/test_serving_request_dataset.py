@@ -1,0 +1,154 @@
+"""Unit tests for requests, traces and the QoS calculator."""
+
+import numpy as np
+import pytest
+
+from repro.serving.dataset import (
+    ChatTraceConfig,
+    ULTRACHAT_LIKE,
+    fixed_trace,
+    sample_trace,
+)
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.qos import compute_qos
+from repro.serving.request import Request, RequestState
+
+
+def make_request(**overrides) -> Request:
+    base = dict(request_id=0, arrival_time=0.0, input_tokens=10,
+                output_tokens=4)
+    base.update(overrides)
+    return Request(**base)
+
+
+class TestRequestLifecycle:
+    def test_initial_state(self):
+        request = make_request()
+        assert request.state == RequestState.QUEUED
+        assert request.context_len == 0
+        assert request.prefill_remaining == 10
+
+    def test_token_recording(self):
+        request = make_request(output_tokens=3)
+        request.prefilled_tokens = 10
+        for t in (1.0, 1.1, 1.2):
+            request.record_token(t)
+        assert request.state == RequestState.FINISHED
+        assert request.first_token_time == 1.0
+        assert request.finish_time == 1.2
+
+    def test_qos_properties(self):
+        request = make_request(arrival_time=0.5, output_tokens=3)
+        for t in (1.0, 1.2, 1.4):
+            request.record_token(t)
+        assert request.ttft == pytest.approx(0.5)
+        assert request.tbt == pytest.approx(0.2)
+        assert request.e2e_latency == pytest.approx(0.9)
+
+    def test_unfinished_request_has_no_e2e(self):
+        with pytest.raises(ValueError):
+            make_request().e2e_latency
+
+    def test_rejects_empty_request(self):
+        with pytest.raises(ValueError):
+            make_request(input_tokens=0)
+
+
+class TestTraces:
+    def test_ultrachat_means(self):
+        """Means must match the published summary stats (DESIGN.md)."""
+        assert ULTRACHAT_LIKE.mean_input == pytest.approx(757, rel=0.05)
+        assert ULTRACHAT_LIKE.mean_output == pytest.approx(263, rel=0.05)
+
+    def test_sampled_means_converge(self):
+        rng = np.random.default_rng(0)
+        pairs = sample_trace(ULTRACHAT_LIKE, 20000, rng)
+        inputs = np.array([p[0] for p in pairs])
+        outputs = np.array([p[1] for p in pairs])
+        assert inputs.mean() == pytest.approx(ULTRACHAT_LIKE.mean_input,
+                                              rel=0.1)
+        assert outputs.mean() == pytest.approx(ULTRACHAT_LIKE.mean_output,
+                                               rel=0.1)
+
+    def test_samples_respect_clips(self):
+        rng = np.random.default_rng(1)
+        pairs = sample_trace(ULTRACHAT_LIKE, 5000, rng)
+        for i, o in pairs:
+            assert ULTRACHAT_LIKE.min_input <= i <= ULTRACHAT_LIKE.max_input
+            assert ULTRACHAT_LIKE.min_output <= o <= ULTRACHAT_LIKE.max_output
+
+    def test_fixed_trace_is_degenerate(self):
+        trace = fixed_trace(256, 64)
+        rng = np.random.default_rng(2)
+        pairs = sample_trace(trace, 100, rng)
+        assert all(p == (256, 64) for p in pairs)
+
+    def test_empty_sample(self):
+        assert sample_trace(ULTRACHAT_LIKE, 0, np.random.default_rng(0)) == []
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ChatTraceConfig("bad", -1.0, 0.5, 100.0, 0.5)
+
+
+class TestPoissonGenerator:
+    def test_arrivals_are_increasing(self):
+        generator = PoissonRequestGenerator(
+            ULTRACHAT_LIKE, 10.0, np.random.default_rng(0))
+        requests = generator.generate(100)
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_rate_is_respected(self):
+        generator = PoissonRequestGenerator(
+            ULTRACHAT_LIKE, 20.0, np.random.default_rng(0))
+        requests = generator.generate(4000)
+        span = requests[-1].arrival_time - requests[0].arrival_time
+        assert 4000 / span == pytest.approx(20.0, rel=0.1)
+
+    def test_reproducible_with_seed(self):
+        a = PoissonRequestGenerator(ULTRACHAT_LIKE, 5.0,
+                                    np.random.default_rng(42)).generate(10)
+        b = PoissonRequestGenerator(ULTRACHAT_LIKE, 5.0,
+                                    np.random.default_rng(42)).generate(10)
+        assert [(r.arrival_time, r.input_tokens) for r in a] \
+            == [(r.arrival_time, r.input_tokens) for r in b]
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            PoissonRequestGenerator(ULTRACHAT_LIKE, 0.0,
+                                    np.random.default_rng(0))
+
+
+class TestQosReport:
+    def _finished_requests(self, count=20):
+        requests = []
+        for i in range(count):
+            request = make_request(request_id=i, arrival_time=float(i),
+                                   output_tokens=5)
+            request.prefilled_tokens = 10
+            start = i + 0.1 * (i + 1)
+            for k in range(5):
+                request.record_token(start + 0.02 * k)
+            requests.append(request)
+        return requests
+
+    def test_report_fields(self):
+        report = compute_qos(self._finished_requests(), wall_time_s=30.0)
+        assert report.request_count == 20
+        assert report.tbt_mean_s == pytest.approx(0.02)
+        assert report.ttft_p99_s >= report.ttft_p50_s
+        assert report.tokens_per_s == pytest.approx(100 / 30.0)
+
+    def test_slo_checks(self):
+        report = compute_qos(self._finished_requests(), wall_time_s=30.0)
+        assert report.meets_tbt_slo(0.025)
+        assert not report.meets_tbt_slo(0.01)
+
+    def test_tokens_per_s_per_request(self):
+        report = compute_qos(self._finished_requests(), wall_time_s=30.0)
+        assert report.mean_tokens_per_s_per_request == pytest.approx(50.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            compute_qos([], 1.0)

@@ -1,0 +1,127 @@
+"""Validation of the analytical systolic model against a cycle-accurate
+reference simulation — numerics and cycle counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.components import SystolicArray
+from repro.perf.systolic import SystolicTimingModel
+from repro.perf.systolic_reference import (
+    CycleAccurateSystolicArray,
+    analytical_tile_cycles,
+)
+
+
+class TestSingleTile:
+    def test_numerics_match_numpy(self):
+        rng = np.random.default_rng(0)
+        array = CycleAccurateSystolicArray(4, 4)
+        a = rng.normal(size=(6, 4))
+        w = rng.normal(size=(4, 4))
+        out, _ = array.run_tile(a, w)
+        np.testing.assert_allclose(out, a @ w, rtol=1e-12)
+
+    def test_cycle_count_matches_closed_form(self):
+        array = CycleAccurateSystolicArray(4, 6)
+        a = np.ones((10, 4))
+        w = np.ones((4, 6))
+        _, cycles = array.run_tile(a, w)
+        assert cycles == analytical_tile_cycles(10, 4, 6)
+
+    def test_single_row_activation(self):
+        """GEMV case: m=1 still drains correctly."""
+        array = CycleAccurateSystolicArray(3, 3)
+        a = np.arange(3, dtype=float).reshape(1, 3)
+        w = np.eye(3)
+        out, cycles = array.run_tile(a, w)
+        np.testing.assert_allclose(out, a)
+        assert cycles == analytical_tile_cycles(1, 3, 3)
+
+    def test_rejects_mismatched_shapes(self):
+        array = CycleAccurateSystolicArray(4, 4)
+        with pytest.raises(ValueError):
+            array.run_tile(np.ones((3, 5)), np.ones((4, 4)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 12),
+    rows=st.integers(1, 6),
+    cols=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_tile_numerics_and_timing(m, rows, cols, seed):
+    """For any shape: the dataflow computes A@W exactly and takes exactly
+    the closed-form number of cycles."""
+    rng = np.random.default_rng(seed)
+    array = CycleAccurateSystolicArray(rows, cols)
+    a = rng.normal(size=(m, rows))
+    w = rng.normal(size=(rows, cols))
+    out, cycles = array.run_tile(a, w)
+    np.testing.assert_allclose(out, a @ w, rtol=1e-10, atol=1e-10)
+    assert cycles == analytical_tile_cycles(m, rows, cols)
+
+
+class TestTiledGemm:
+    def test_numerics_with_ragged_tiling(self):
+        """K and N not multiples of the array: zero-padded tiles must
+        still produce the exact product."""
+        rng = np.random.default_rng(3)
+        array = CycleAccurateSystolicArray(4, 4)
+        a = rng.normal(size=(5, 10))
+        b = rng.normal(size=(10, 7))
+        run = array.run_gemm(a, b)
+        np.testing.assert_allclose(run.result, a @ b, rtol=1e-10)
+        assert run.tiles == 3 * 2  # ceil(10/4) x ceil(7/4)
+
+    def test_double_buffering_saves_loads(self):
+        array = CycleAccurateSystolicArray(4, 4)
+        a = np.ones((4, 16))
+        b = np.ones((16, 16))
+        buffered = array.run_gemm(a, b, double_buffered=True)
+        exposed = array.run_gemm(a, b, double_buffered=False)
+        assert buffered.load_cycles == 4          # only the pipeline head
+        assert exposed.load_cycles == 4 * buffered.tiles
+        assert buffered.total_cycles < exposed.total_cycles
+
+
+class TestAnalyticalModelAgreement:
+    """The production analytical model must agree with the reference on
+    its own assumptions (single core, resident weights)."""
+
+    @pytest.mark.parametrize("m,k,n,rows,cols", [
+        (8, 8, 8, 4, 4),
+        (16, 12, 10, 4, 6),
+        (3, 20, 20, 5, 5),
+        (32, 8, 8, 8, 8),
+    ])
+    def test_cycle_counts_match(self, m, k, n, rows, cols):
+        reference = CycleAccurateSystolicArray(rows, cols)
+        rng = np.random.default_rng(1)
+        run = reference.run_gemm(rng.normal(size=(m, k)),
+                                 rng.normal(size=(k, n)),
+                                 double_buffered=True)
+        model = SystolicTimingModel(SystolicArray(rows, cols), cores=1,
+                                    frequency_hz=1e9)
+        est = model.gemm(m, k, n, dram_bandwidth=1e15,  # no stalls
+                         double_buffered=True, weights_resident=False,
+                         core_split="m")
+        # analytical: pipeline head + per-tile max(compute, load);
+        # reference: serial tiles + head load.  They agree exactly when
+        # compute >= load per tile, within one tile's fill otherwise.
+        assert est.cycles == pytest.approx(run.total_cycles,
+                                           rel=0.05, abs=rows + cols)
+
+    def test_utilization_agrees_at_large_m(self):
+        reference = CycleAccurateSystolicArray(4, 4)
+        m, k, n = 200, 4, 4
+        rng = np.random.default_rng(2)
+        run = reference.run_gemm(rng.normal(size=(m, k)),
+                                 rng.normal(size=(k, n)))
+        ideal = m * k * n / (4 * 4)
+        reference_util = ideal / run.total_cycles
+        model = SystolicTimingModel(SystolicArray(4, 4), cores=1,
+                                    frequency_hz=1e9)
+        est = model.gemm(m, k, n, dram_bandwidth=1e15, core_split="m")
+        assert est.utilization == pytest.approx(reference_util, rel=0.05)

@@ -1,0 +1,87 @@
+"""Unit tests for request-trace serialization and replay determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import AdorDeviceModel
+from repro.hardware.presets import ador_table3
+from repro.models.zoo import get_model
+from repro.serving.dataset import ULTRACHAT_LIKE
+from repro.serving.engine import ServingEngine
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.scheduler import SchedulerLimits
+from repro.serving.trace_io import (
+    export_timeline,
+    load_requests,
+    load_timeline,
+    save_requests,
+)
+
+
+@pytest.fixture
+def stream():
+    rng = np.random.default_rng(9)
+    return PoissonRequestGenerator(ULTRACHAT_LIKE, 10.0, rng).generate(25)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_requests(self, stream, tmp_path):
+        path = tmp_path / "trace.json"
+        save_requests(stream, path)
+        loaded = load_requests(path)
+        assert len(loaded) == len(stream)
+        for a, b in zip(sorted(stream, key=lambda r: r.arrival_time), loaded):
+            assert a.request_id == b.request_id
+            assert a.arrival_time == b.arrival_time
+            assert (a.input_tokens, a.output_tokens) \
+                == (b.input_tokens, b.output_tokens)
+
+    def test_loaded_requests_are_fresh(self, stream, tmp_path):
+        path = tmp_path / "trace.json"
+        save_requests(stream, path)
+        for request in load_requests(path):
+            assert request.generated_tokens == 0
+            assert request.token_times == []
+
+    def test_replay_is_deterministic(self, stream, tmp_path):
+        """Two engines fed the same saved trace produce identical QoS."""
+        path = tmp_path / "trace.json"
+        save_requests(stream, path)
+        model = get_model("llama3-8b")
+
+        def run():
+            engine = ServingEngine(AdorDeviceModel(ador_table3()), model,
+                                   SchedulerLimits(max_batch=32))
+            return engine.run(load_requests(path))
+
+        first, second = run(), run()
+        assert first.total_time_s == second.total_time_s
+        for a, b in zip(first.finished, second.finished):
+            assert a.token_times == b.token_times
+
+    def test_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ValueError, match="expected a JSON list"):
+            load_requests(path)
+
+    def test_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"request_id": 1}]')
+        with pytest.raises(ValueError, match="missing"):
+            load_requests(path)
+
+
+class TestTimelineExport:
+    def test_export_and_load(self, stream, tmp_path):
+        model = get_model("llama3-8b")
+        engine = ServingEngine(AdorDeviceModel(ador_table3()), model,
+                               SchedulerLimits(max_batch=32))
+        result = engine.run(stream)
+        path = tmp_path / "timeline.json"
+        export_timeline(result.finished, path)
+        timeline = load_timeline(path)
+        assert len(timeline) == len(result.finished)
+        for entry in timeline:
+            assert entry["ttft"] > 0
+            assert entry["finish_time"] >= entry["first_token_time"]
