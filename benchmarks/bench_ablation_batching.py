@@ -2,44 +2,37 @@
 
 Runs the same request stream through no-batching, static batching and
 continuous batching on the ADOR design and reports the QoS/throughput
-trade each discipline makes.
+trade each discipline makes.  Each run is one ``repro.api.simulate()``
+call; the shared workload seed guarantees every policy replays the
+identical request stream.
 """
 
-import copy
-
-import numpy as np
 from conftest import run_once
 
 from repro.analysis.tables import format_table
-from repro.core.scheduling import AdorDeviceModel
-from repro.hardware.presets import ador_table3
-from repro.models.zoo import get_model
-from repro.serving.dataset import ULTRACHAT_LIKE
-from repro.serving.generator import PoissonRequestGenerator
-from repro.serving.policies import BatchingPolicy, simulate_policy
-from repro.serving.qos import compute_qos
+from repro.api import DeploymentSpec, WorkloadSpec, simulate
 
 RATE = 6.0
 COUNT = 48
+POLICIES = ("no-batching", "static", "continuous")
 
 
 def _compare():
-    model = get_model("llama3-8b")
-    device = AdorDeviceModel(ador_table3())
-    rng = np.random.default_rng(23)
-    requests = PoissonRequestGenerator(ULTRACHAT_LIKE, RATE, rng).generate(COUNT)
+    workload = WorkloadSpec(trace="ultrachat", rate_per_s=RATE,
+                            num_requests=COUNT, seed=23)
     rows = []
     outcomes = {}
-    for policy in BatchingPolicy:
-        result = simulate_policy(policy, device, model,
-                                 copy.deepcopy(requests), batch_size=32)
-        qos = compute_qos(result.finished, result.total_time_s)
+    for policy in POLICIES:
+        deployment = DeploymentSpec(chip="ador", model="llama3-8b",
+                                    max_batch=32, batching=policy)
+        report = simulate(deployment, workload, max_sim_seconds=3600.0)
+        qos = report.qos
         rows.append([
-            policy.value,
+            policy,
             qos.ttft_p95_s * 1e3,
             qos.tbt_mean_s * 1e3,
             qos.tokens_per_s,
-            result.total_time_s,
+            report.result.total_time_s,
         ])
         outcomes[policy] = qos
     return rows, outcomes
@@ -54,9 +47,9 @@ def test_ablation_batching_policies(benchmark, report):
         title=f"Ablation (Fig. 2b): batching disciplines, LLaMA3-8B on "
               f"ADOR, {RATE} req/s",
     ))
-    no_batch = outcomes[BatchingPolicy.NO_BATCHING]
-    static = outcomes[BatchingPolicy.STATIC]
-    continuous = outcomes[BatchingPolicy.CONTINUOUS]
+    no_batch = outcomes["no-batching"]
+    static = outcomes["static"]
+    continuous = outcomes["continuous"]
     # continuous batching: highest throughput, best tail TTFT
     assert continuous.tokens_per_s >= 0.95 * max(
         no_batch.tokens_per_s, static.tokens_per_s)

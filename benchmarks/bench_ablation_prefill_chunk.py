@@ -3,23 +3,15 @@
 DESIGN.md calls out the chunked-prefill policy (Sarathi-style) as a
 design choice of the serving engine.  Sweeping the chunk size exposes
 the trade: big chunks finish prefills sooner (better TTFT) but make
-iterations long and spiky (worse TBT for decoding requests).
+iterations long and spiky (worse TBT for decoding requests).  The sweep
+is pure spec manipulation through ``repro.api``: one
+:class:`DeploymentSpec` per chunk size over a fixed workload.
 """
 
-import copy
-
-import numpy as np
 from conftest import run_once
 
 from repro.analysis.tables import format_table
-from repro.core.scheduling import AdorDeviceModel
-from repro.hardware.presets import ador_table3
-from repro.models.zoo import get_model
-from repro.serving.dataset import ULTRACHAT_LIKE
-from repro.serving.engine import ServingEngine
-from repro.serving.generator import PoissonRequestGenerator
-from repro.serving.qos import compute_qos
-from repro.serving.scheduler import SchedulerLimits
+from repro.api import DeploymentSpec, WorkloadSpec, simulate
 
 CHUNKS = (128, 256, 512, 1024, 2048)
 RATE = 12.0
@@ -27,17 +19,15 @@ COUNT = 120
 
 
 def _sweep():
-    model = get_model("llama3-8b")
-    device = AdorDeviceModel(ador_table3())
-    rng = np.random.default_rng(5)
-    requests = PoissonRequestGenerator(ULTRACHAT_LIKE, RATE, rng).generate(COUNT)
+    workload = WorkloadSpec(trace="ultrachat", rate_per_s=RATE,
+                            num_requests=COUNT, seed=5)
     rows = []
     for chunk in CHUNKS:
-        engine = ServingEngine(
-            device, model,
-            SchedulerLimits(max_batch=256, prefill_chunk_tokens=chunk))
-        result = engine.run(copy.deepcopy(requests))
-        qos = compute_qos(result.finished, result.total_time_s)
+        deployment = DeploymentSpec(chip="ador", model="llama3-8b",
+                                    max_batch=256,
+                                    prefill_chunk_tokens=chunk)
+        report = simulate(deployment, workload)
+        qos = report.qos
         rows.append([chunk, qos.ttft_p95_s * 1e3, qos.tbt_p95_s * 1e3,
                      qos.tokens_per_s])
     return rows

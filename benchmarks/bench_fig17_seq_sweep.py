@@ -11,39 +11,30 @@ import numpy as np
 from conftest import run_once
 
 from repro.analysis.tables import format_table
-from repro.core.scheduling import AdorDeviceModel
-from repro.hardware.presets import ador_table3
-from repro.models.zoo import get_model
-from repro.serving.dataset import fixed_trace
-from repro.serving.engine import ServingEngine
-from repro.serving.generator import PoissonRequestGenerator
-from repro.serving.qos import compute_qos
-from repro.serving.scheduler import SchedulerLimits
+from repro.api import DeploymentSpec, WorkloadSpec, simulate
 
 INPUT_LENGTHS = (128, 256, 512, 1024)
 OUTPUT_LENGTHS = (1, 32, 128, 512, 1024)
 RATE = 4.5          # req/s — a steadily loaded endpoint
 REQUESTS = 40
 
+DEPLOYMENT = DeploymentSpec(chip="ador", model="llama3-8b", max_batch=128)
 
-def _cell(device, model, input_len, output_len):
-    rng = np.random.default_rng(17)
-    trace = fixed_trace(input_len, output_len)
-    requests = PoissonRequestGenerator(trace, RATE, rng).generate(REQUESTS)
-    engine = ServingEngine(device, model, SchedulerLimits(max_batch=128))
-    result = engine.run(requests, max_sim_seconds=1200.0)
-    qos = compute_qos(result.finished, result.total_time_s)
-    return qos.ttft_mean_s, qos.tbt_mean_s
+
+def _cell(input_len, output_len):
+    # the dynamic "fixed-AxB" trace name resolves without registration
+    workload = WorkloadSpec(trace=f"fixed-{input_len}x{output_len}",
+                            rate_per_s=RATE, num_requests=REQUESTS, seed=17)
+    report = simulate(DEPLOYMENT, workload, max_sim_seconds=1200.0)
+    return report.qos.ttft_mean_s, report.qos.tbt_mean_s
 
 
 def _sweep():
-    model = get_model("llama3-8b")
-    device = AdorDeviceModel(ador_table3())
     ttft = {}
     tbt = {}
     for input_len in INPUT_LENGTHS:
         for output_len in OUTPUT_LENGTHS:
-            t, b = _cell(device, model, input_len, output_len)
+            t, b = _cell(input_len, output_len)
             ttft[(input_len, output_len)] = t * 1e3
             tbt[(input_len, output_len)] = (1.0 / b) if b > 0 else float("nan")
     return ttft, tbt

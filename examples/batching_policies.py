@@ -1,45 +1,36 @@
 #!/usr/bin/env python
 """Batching-policy comparison (paper Fig. 2b, quantified).
 
-Replays one Poisson request stream through three serving disciplines —
-no batching, static batching and continuous batching — on the ADOR
-design, and prints the QoS/throughput trade each makes.
+Replays one Poisson request stream through the three registered serving
+disciplines — no batching, static batching and continuous batching — on
+the ADOR design, and prints the QoS/throughput trade each makes.  Each
+run is one ``simulate()`` call over the same :class:`WorkloadSpec`; the
+shared seed guarantees every policy sees the identical request stream.
 
 Run:  python examples/batching_policies.py
 """
 
-import copy
-
-import numpy as np
-
 from repro.analysis.tables import format_table
-from repro.core.scheduling import AdorDeviceModel
-from repro.hardware.presets import ador_table3
-from repro.models import get_model
-from repro.serving.dataset import ULTRACHAT_LIKE
-from repro.serving.generator import PoissonRequestGenerator
-from repro.serving.policies import BatchingPolicy, simulate_policy
-from repro.serving.qos import compute_qos
+from repro.api import DeploymentSpec, WorkloadSpec, list_policies, simulate
 
 
 def main() -> None:
-    model = get_model("llama3-8b")
-    device = AdorDeviceModel(ador_table3())
-    rng = np.random.default_rng(23)
-    requests = PoissonRequestGenerator(ULTRACHAT_LIKE, 6.0, rng).generate(48)
+    workload = WorkloadSpec(trace="ultrachat", rate_per_s=6.0,
+                            num_requests=48, seed=23)
 
     rows = []
-    for policy in BatchingPolicy:
-        result = simulate_policy(policy, device, model,
-                                 copy.deepcopy(requests), batch_size=32)
-        qos = compute_qos(result.finished, result.total_time_s)
+    for policy in list_policies():
+        deployment = DeploymentSpec(chip="ador", model="llama3-8b",
+                                    max_batch=32, batching=policy)
+        report = simulate(deployment, workload, max_sim_seconds=3600.0)
+        qos = report.qos
         rows.append([
-            policy.value,
+            policy,
             qos.ttft_p50_s * 1e3,
             qos.ttft_p95_s * 1e3,
             qos.tbt_mean_s * 1e3,
             qos.tokens_per_s,
-            result.total_time_s,
+            report.result.total_time_s,
         ])
     print(format_table(
         ["policy", "TTFT p50 (ms)", "TTFT p95 (ms)", "TBT (ms)",

@@ -9,14 +9,13 @@ Run:  python examples/compiler_walkthrough.py
 """
 
 from repro.analysis.tables import format_table
+from repro.api import get_chip, get_model
 from repro.compiler import InstructionGenerator
-from repro.hardware.presets import ador_table3
-from repro.models import get_model
 from repro.models.layers import Phase
 
 
 def main() -> None:
-    chip = ador_table3()
+    chip = get_chip("ador")
     model = get_model("llama3-8b")
     generator = InstructionGenerator(chip)
 

@@ -10,10 +10,8 @@ Run:  python examples/multi_device_scaling.py
 """
 
 from repro.analysis.tables import format_table
-from repro.core import device_model_for
+from repro.api import device_model_for, get_chip, get_model
 from repro.hardware.interconnect import P2pSpec
-from repro.hardware.presets import a100, ador_table3
-from repro.models import get_model
 from repro.parallel import (
     SyncMethod,
     tp_scalability_curve,
@@ -54,8 +52,8 @@ def main() -> None:
 
     # 3) LLaMA3-70B on 8 devices: ADOR vs A100 (Fig. 15b)
     llama70 = get_model("llama3-70b")
-    ador = device_model_for(ador_table3())
-    gpu = device_model_for(a100())
+    ador = device_model_for(get_chip("ador"))
+    gpu = device_model_for(get_chip("a100"))
     rows = []
     for batch in (16, 64, 128, 150):
         ours = ador.decode_step_time(llama70, batch, 1024, num_devices=8)

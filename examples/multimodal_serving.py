@@ -10,8 +10,7 @@ Run:  python examples/multimodal_serving.py
 """
 
 from repro.analysis.tables import format_table
-from repro.core import device_model_for
-from repro.hardware.presets import a100, ador_table3
+from repro.api import device_model_for, get_chip
 from repro.models.multimodal import DitWorkload, LmmWorkload
 
 
@@ -27,7 +26,7 @@ def main() -> None:
           f"{lmm.encoder_flops() / 1e12:.2f} TFLOP\n")
 
     rows = []
-    for chip in (ador_table3(), a100()):
+    for chip in (get_chip("ador"), get_chip("a100")):
         device = device_model_for(chip)
         encode = device.prefill_time(
             lmm.encoder_workload.encoder, 1,
@@ -45,7 +44,7 @@ def main() -> None:
 
     print()
     rows = []
-    for chip in (ador_table3(), a100()):
+    for chip in (get_chip("ador"), get_chip("a100")):
         device = device_model_for(chip)
         step = device.prefill_time(dit.dit, 1, dit.latent_tokens).seconds
         rows.append([chip.name, step * 1e3, dit.sampling_steps,

@@ -9,16 +9,14 @@ Run:  python examples/quickstart.py
 """
 
 from repro.analysis.tables import format_table
-from repro.core import device_model_for
+from repro.api import device_model_for, get_chip, get_model
 from repro.hardware.area import AreaModel
-from repro.hardware.presets import a100, ador_table3
-from repro.models import get_model
 
 
 def main() -> None:
     model = get_model("llama3-8b")
-    ador = device_model_for(ador_table3())
-    gpu = device_model_for(a100())
+    ador = device_model_for(get_chip("ador"))
+    gpu = device_model_for(get_chip("a100"))
     area = AreaModel()
 
     print(f"model: {model}")

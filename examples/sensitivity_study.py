@@ -10,14 +10,13 @@ Run:  python examples/sensitivity_study.py
 """
 
 from repro.analysis.tables import format_table
+from repro.api import get_chip, get_model
 from repro.core.sensitivity import most_sensitive_knob, sensitivity_table
-from repro.hardware.presets import ador_table3
-from repro.models import get_model
 
 
 def main() -> None:
     model = get_model("llama3-8b")
-    chip = ador_table3()
+    chip = get_chip("ador")
     print(f"reference design: {chip}\n")
 
     rows = sensitivity_table(chip, model, batch=128, seq_len=1024)

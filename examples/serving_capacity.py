@@ -1,62 +1,59 @@
 #!/usr/bin/env python
 """Chatbot capacity planning with the serving simulator (paper Fig. 16).
 
-Simulates a chatbot endpoint on one ADOR device: Poisson arrivals with
-an ultrachat-like token-length trace, continuous batching with chunked
-prefill, then a binary search for the highest request rate that still
-meets a time-between-tokens SLO.
+Simulates a chatbot endpoint on one ADOR device through the declarative
+``repro.api`` facade: Poisson arrivals with an ultrachat-like
+token-length trace, continuous batching with chunked prefill, then a
+binary search for the highest request rate that still meets a
+time-between-tokens SLO.
 
 Run:  python examples/serving_capacity.py
 """
 
-import numpy as np
-
 from repro.analysis.tables import format_table
-from repro.core.scheduling import AdorDeviceModel
-from repro.hardware.presets import ador_table3
-from repro.models import get_model
-from repro.serving import (
-    PoissonRequestGenerator,
-    SchedulerLimits,
-    ServingEngine,
-    compute_qos,
-    max_capacity_under_slo,
-    utilization_report,
+from repro.api import (
+    DeploymentSpec,
+    WorkloadSpec,
+    device_model_for,
+    get_chip,
+    get_model,
+    get_trace,
+    simulate,
 )
-from repro.serving.dataset import ULTRACHAT_LIKE
+from repro.serving import max_capacity_under_slo
 
 
 def main() -> None:
-    model = get_model("llama3-8b")
-    device = AdorDeviceModel(ador_table3())
+    # 1) one simulation at a fixed load, with full QoS + utilization —
+    #    two spec objects replace the old six-object hand-wired chain
+    deployment = DeploymentSpec(chip="ador", model="llama3-8b",
+                                max_batch=256)
+    workload = WorkloadSpec(trace="ultrachat", rate_per_s=15.0,
+                            num_requests=200, seed=7)
+    report = simulate(deployment, workload)
+    qos = report.qos
 
-    # 1) one simulation at a fixed load, with full QoS + utilization
-    rate = 15.0
-    rng = np.random.default_rng(7)
-    requests = PoissonRequestGenerator(ULTRACHAT_LIKE, rate, rng).generate(200)
-    engine = ServingEngine(device, model, SchedulerLimits(max_batch=256))
-    result = engine.run(requests)
-    qos = compute_qos(result.finished, result.total_time_s)
-    util = utilization_report(result, model, device.chip)
-
-    print(f"serving LLaMA3-8B at {rate:.0f} req/s "
-          f"({len(result.finished)} requests simulated):")
+    print(f"serving LLaMA3-8B at {workload.rate_per_s:.0f} req/s "
+          f"({len(report.result.finished)} requests simulated):")
     print(f"  TTFT   mean {qos.ttft_mean_s * 1e3:6.1f} ms   "
           f"p95 {qos.ttft_p95_s * 1e3:6.1f} ms")
     print(f"  TBT    mean {qos.tbt_mean_s * 1e3:6.2f} ms   "
           f"p95 {qos.tbt_p95_s * 1e3:6.2f} ms")
     print(f"  E2E    mean {qos.e2e_mean_s:6.2f} s")
     print(f"  tokens/s {qos.tokens_per_s:,.0f}")
-    for key, value in util.as_dict().items():
+    for key, value in report.utilization.as_dict().items():
         print(f"  {key}: {value:.2f}")
 
     # 2) the Fig. 16 experiment: capacity under strict/relaxed SLOs
     print("\nsearching max capacity under TBT SLOs "
           "(this runs ~15 simulations)...")
+    device = device_model_for(get_chip("ador"))
+    model = get_model("llama3-8b")
+    trace = get_trace("ultrachat")
     rows = []
     for label, slo in (("strict", 0.025), ("relaxed", 0.050)):
         outcome = max_capacity_under_slo(
-            device, model, ULTRACHAT_LIKE, slo_tbt_s=slo,
+            device, model, trace, slo_tbt_s=slo,
             request_count=250, iterations=6)
         rows.append([label, slo * 1e3, outcome.max_requests_per_s,
                      outcome.qos_at_max.tbt_p95_s * 1e3])

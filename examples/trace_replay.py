@@ -14,9 +14,7 @@ import tempfile
 
 import numpy as np
 
-from repro.core.scheduling import AdorDeviceModel
-from repro.hardware.presets import ador_table3
-from repro.models import get_model
+from repro.api import device_model_for, get_chip, get_model
 from repro.serving import SchedulerLimits, ServingEngine, compute_qos
 from repro.serving.sessions import MultiTurnSessionGenerator, SessionConfig
 from repro.serving.trace_io import (
@@ -28,7 +26,7 @@ from repro.serving.trace_io import (
 
 def main() -> None:
     model = get_model("llama3-8b")
-    device = AdorDeviceModel(ador_table3())
+    device = device_model_for(get_chip("ador"))
     workdir = pathlib.Path(tempfile.mkdtemp(prefix="ador-trace-"))
     trace_path = workdir / "sessions.json"
 

@@ -3,9 +3,11 @@
 ADOR: A Design Exploration Framework for LLM Serving with Enhanced
 Latency and Throughput.  The package implements the paper's full stack:
 
+* :mod:`repro.api` — the declarative experiment surface: serializable
+  specs, named registries and the ``simulate()`` facade;
 * :mod:`repro.models` — LLM architectures and workload characterization;
-* :mod:`repro.hardware` — chip templates, presets and the calibrated
-  area/cost model;
+* :mod:`repro.hardware` — chip templates, presets, the named chip
+  registry and the calibrated area/cost model;
 * :mod:`repro.perf` — analytical compute/memory performance models
   (systolic arrays, MAC trees, GPU/NPU/TSP baselines);
 * :mod:`repro.parallel` — collectives, TP/PP and overlap analysis;
@@ -14,24 +16,52 @@ Latency and Throughput.  The package implements the paper's full stack:
 * :mod:`repro.serving` — the discrete-event serving simulator;
 * :mod:`repro.analysis` — metrics and reporting helpers.
 
-Quick start::
+Quick start — one serving experiment, declaratively::
 
-    from repro.models import get_model
-    from repro.hardware.presets import ador_table3
-    from repro.core import device_model_for
+    from repro.api import DeploymentSpec, WorkloadSpec, simulate
 
-    chip = ador_table3()
-    device = device_model_for(chip)
+    report = simulate(
+        DeploymentSpec(chip="ador", model="llama3-8b", max_batch=256),
+        WorkloadSpec(trace="ultrachat", rate_per_s=15.0,
+                     num_requests=200, seed=7),
+    )
+    print(f"TTFT p95: {report.qos.ttft_p95_s * 1e3:.1f} ms, "
+          f"TBT p95: {report.qos.tbt_p95_s * 1e3:.2f} ms")
+
+The same experiment as data — serialize it, check it in, replay it
+anywhere (``repro run experiment.json`` from the CLI does the same)::
+
+    from repro.api import Experiment, run_experiment, save_experiment
+
+    save_experiment(Experiment(deployment, workload), "experiment.json")
+    report = run_experiment("experiment.json")   # identical, same seed
+
+Lower-level building blocks stay importable for custom studies::
+
+    from repro.api import device_model_for, get_chip, get_model
+
+    device = device_model_for(get_chip("ador"))
     step = device.decode_step_time(get_model("llama3-8b"), batch=128,
                                    context_len=1024)
     print(f"TBT: {step.seconds * 1e3:.2f} ms")
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.models import get_model, list_models
 from repro.core import AdorSearch, device_model_for
 from repro.hardware.presets import ador_table3
+from repro.hardware.registry import get_chip, list_chips, register_chip
+from repro.api import (
+    DeploymentSpec,
+    Experiment,
+    ServingReport,
+    WorkloadSpec,
+    load_experiment,
+    run_experiment,
+    save_experiment,
+    simulate,
+)
 
 __all__ = [
     "__version__",
@@ -40,4 +70,15 @@ __all__ = [
     "AdorSearch",
     "device_model_for",
     "ador_table3",
+    "get_chip",
+    "list_chips",
+    "register_chip",
+    "DeploymentSpec",
+    "WorkloadSpec",
+    "Experiment",
+    "ServingReport",
+    "simulate",
+    "load_experiment",
+    "save_experiment",
+    "run_experiment",
 ]

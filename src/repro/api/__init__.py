@@ -1,0 +1,68 @@
+"""``repro.api`` — the declarative experiment surface of the framework.
+
+One import gives the full exploration loop the ROADMAP asks for: named
+registries over chips / traces / batching policies, frozen serializable
+specs, and a :func:`simulate` facade returning a unified
+:class:`ServingReport`::
+
+    from repro.api import DeploymentSpec, WorkloadSpec, simulate
+
+    report = simulate(
+        DeploymentSpec(chip="ador", model="llama3-8b"),
+        WorkloadSpec(trace="ultrachat", rate_per_s=15.0,
+                     num_requests=200, seed=7),
+    )
+    print(report.summary())
+
+Sweeps become data, not scripts: serialize an :class:`Experiment` to
+JSON (``save_experiment``) and replay it anywhere with
+``repro run experiment.json`` or :func:`run_experiment` — same seed,
+identical report.
+"""
+
+from repro.api.facade import (
+    EndpointOverloaded,
+    ServingReport,
+    load_experiment,
+    run_experiment,
+    save_experiment,
+    simulate,
+)
+from repro.api.specs import (
+    DeploymentSpec,
+    Experiment,
+    WorkloadSpec,
+    chip_from_dict,
+    chip_to_dict,
+)
+from repro.core.scheduling import device_model_for
+from repro.hardware.registry import get_chip, list_chips, register_chip
+from repro.models.zoo import get_model, list_models
+from repro.serving.policies import get_policy, list_policies, register_policy
+from repro.serving.traces import get_trace, list_traces, register_trace
+
+__all__ = [
+    "DeploymentSpec",
+    "WorkloadSpec",
+    "Experiment",
+    "ServingReport",
+    "EndpointOverloaded",
+    "simulate",
+    "load_experiment",
+    "save_experiment",
+    "run_experiment",
+    "chip_to_dict",
+    "chip_from_dict",
+    "get_chip",
+    "list_chips",
+    "register_chip",
+    "get_trace",
+    "list_traces",
+    "register_trace",
+    "get_policy",
+    "list_policies",
+    "register_policy",
+    "get_model",
+    "list_models",
+    "device_model_for",
+]

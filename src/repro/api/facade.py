@@ -1,0 +1,136 @@
+"""The ``simulate()`` facade: one call from specs to a full QoS report.
+
+This replaces the six-object chain every experiment used to hand-wire
+(chip preset -> device model -> model config -> scheduler limits ->
+request generator -> engine -> QoS/utilization calculators) with::
+
+    from repro.api import DeploymentSpec, WorkloadSpec, simulate
+
+    report = simulate(DeploymentSpec(chip="ador"),
+                      WorkloadSpec(rate_per_s=15.0, num_requests=200))
+    print(report.qos.ttft_p95_s)
+
+Everything stays deterministic: the workload seed fully determines the
+request stream, so a spec serialized to JSON and reloaded elsewhere
+reproduces the identical :class:`ServingReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.api.specs import DeploymentSpec, Experiment, WorkloadSpec
+from repro.core.scheduling import device_model_for
+from repro.hardware.chip import ChipSpec
+from repro.models.config import ModelConfig
+from repro.models.zoo import get_model
+from repro.serving.engine import SimulationResult
+from repro.serving.policies import get_policy
+from repro.serving.qos import QoSReport, compute_qos
+from repro.serving.utilization import UtilizationReport, utilization_report
+
+
+class EndpointOverloaded(RuntimeError):
+    """No request finished inside the horizon: the load is unsustainable."""
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Unified outcome of one serving experiment.
+
+    Bundles the raw :class:`SimulationResult`, the QoS percentiles and
+    the vendor-side utilization report, together with the specs that
+    produced them — a self-describing record suitable for sweeps.
+    """
+
+    deployment: DeploymentSpec
+    workload: WorkloadSpec
+    chip: ChipSpec
+    model: ModelConfig
+    result: SimulationResult
+    qos: QoSReport
+    utilization: UtilizationReport
+
+    def summary_lines(self) -> list[str]:
+        """The human-readable report the CLI and examples print."""
+        qos, util = self.qos, self.utilization
+        lines = [
+            f"simulated {len(self.result.finished)} requests at "
+            f"{self.workload.rate_per_s:g} req/s on {self.chip.name} "
+            f"({self.deployment.num_devices} device(s), "
+            f"{self.deployment.batching} batching):",
+            f"  TTFT mean/p95 : {qos.ttft_mean_s * 1e3:.1f} / "
+            f"{qos.ttft_p95_s * 1e3:.1f} ms",
+            f"  TBT  mean/p95 : {qos.tbt_mean_s * 1e3:.2f} / "
+            f"{qos.tbt_p95_s * 1e3:.2f} ms",
+            f"  E2E  mean     : {qos.e2e_mean_s:.2f} s",
+            f"  throughput    : {qos.tokens_per_s:,.0f} tokens/s",
+        ]
+        lines += [f"  {key}: {value:.2f}"
+                  for key, value in util.as_dict().items()]
+        return lines
+
+    def summary(self) -> str:
+        return "\n".join(self.summary_lines())
+
+
+def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
+             max_sim_seconds: float = 600.0) -> ServingReport:
+    """Run one serving experiment end-to-end and report QoS + utilization.
+
+    Raises :class:`EndpointOverloaded` if not a single request finishes
+    within the horizon — the spec'd endpoint cannot sustain the load.
+    """
+    chip = deployment.chip_spec()
+    model = get_model(deployment.model)
+    device = device_model_for(chip)
+    requests = workload.build_requests()
+    runner = get_policy(deployment.batching)
+    result = runner(device, model, requests, deployment.scheduler_limits(),
+                    num_devices=deployment.num_devices,
+                    max_sim_seconds=max_sim_seconds)
+    if not result.finished:
+        raise EndpointOverloaded(
+            f"no requests finished within {max_sim_seconds:g} s — "
+            f"{chip.name} cannot sustain {workload.rate_per_s:g} req/s")
+    qos = compute_qos(result.finished, result.total_time_s)
+    util = utilization_report(result, model, chip, deployment.num_devices)
+    return ServingReport(
+        deployment=deployment,
+        workload=workload,
+        chip=chip,
+        model=model,
+        result=result,
+        qos=qos,
+        utilization=util,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Experiment files                                                       #
+# --------------------------------------------------------------------- #
+
+def load_experiment(path: str | pathlib.Path) -> Experiment:
+    """Load a declarative ``experiment.json`` file."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: experiment file must hold a JSON object")
+    return Experiment.from_dict(data)
+
+
+def save_experiment(experiment: Experiment,
+                    path: str | pathlib.Path) -> pathlib.Path:
+    """Write an experiment as formatted JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(experiment.to_dict(), indent=2) + "\n")
+    return path
+
+
+def run_experiment(source: Experiment | str | pathlib.Path) -> ServingReport:
+    """Execute an :class:`Experiment` (or a path to one) end-to-end."""
+    experiment = source if isinstance(source, Experiment) \
+        else load_experiment(source)
+    return simulate(experiment.deployment, experiment.workload,
+                    max_sim_seconds=experiment.max_sim_seconds)

@@ -1,0 +1,348 @@
+"""Serializable experiment specs: the declarative half of ``repro.api``.
+
+A serving experiment is fully described by two frozen value objects —
+*what* is deployed (:class:`DeploymentSpec`) and *what load* hits it
+(:class:`WorkloadSpec`) — optionally wrapped in an :class:`Experiment`
+with a simulation horizon.  All three round-trip through plain dicts
+(``to_dict`` / ``from_dict``) and therefore through JSON, so a sweep can
+be generated in Python, checked into a repo as ``experiment.json`` files,
+and replayed bit-identically anywhere (same seed, same report).
+
+Chips are referenced by registry name (``"ador"``, ``"a100"``, ...) or
+embedded as a full custom :class:`~repro.hardware.chip.ChipSpec`, which
+:func:`chip_to_dict` / :func:`chip_from_dict` serialize field-by-field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.hardware.chip import ChipKind, ChipSpec
+from repro.hardware.components import MacTree, SystolicArray, VectorUnit
+from repro.hardware.interconnect import NocSpec, NocTopology, P2pSpec
+from repro.hardware.memory import Dram, DramKind, Sram
+from repro.hardware.registry import get_chip
+from repro.hardware.technology import ProcessNode
+from repro.serving.dataset import ChatTraceConfig
+from repro.serving.scheduler import SchedulerLimits
+from repro.serving.traces import get_trace
+
+_PROCESS_BY_LABEL = {node.label: node for node in ProcessNode}
+
+
+# --------------------------------------------------------------------- #
+# ChipSpec <-> dict                                                      #
+# --------------------------------------------------------------------- #
+
+def _finite(value: float | None) -> float | None:
+    """Map +inf to None so the dict stays strict-JSON clean."""
+    if value is None or value == float("inf"):
+        return None
+    return value
+
+
+def _require_mapping(data, context: str) -> dict:
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{context} section must be a JSON object, "
+            f"got {type(data).__name__}")
+    return data
+
+
+def _reject_unknown_keys(data: dict, allowed: frozenset, context: str) -> None:
+    """A typo'd field silently running with defaults would defeat the
+    whole reproducible-config contract — fail loudly instead."""
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown {context} field(s): {', '.join(sorted(unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}")
+
+
+def _sram_to_dict(sram: Sram) -> dict:
+    return {"size_bytes": sram.size_bytes,
+            "bandwidth_bytes_per_s": _finite(sram.bandwidth_bytes_per_s)}
+
+
+def _sram_from_dict(data: dict) -> Sram:
+    bandwidth = data.get("bandwidth_bytes_per_s")
+    return Sram(size_bytes=data["size_bytes"],
+                bandwidth_bytes_per_s=float("inf") if bandwidth is None
+                else bandwidth)
+
+
+def chip_to_dict(chip: ChipSpec) -> dict:
+    """Serialize a :class:`ChipSpec` to a JSON-compatible dict."""
+    return {
+        "name": chip.name,
+        "kind": chip.kind.value,
+        "frequency_hz": chip.frequency_hz,
+        "cores": chip.cores,
+        "systolic_array": asdict(chip.systolic_array)
+        if chip.systolic_array else None,
+        "mac_tree": asdict(chip.mac_tree) if chip.mac_tree else None,
+        "vector_unit": asdict(chip.vector_unit) if chip.vector_unit else None,
+        "local_memory": _sram_to_dict(chip.local_memory),
+        "global_memory": _sram_to_dict(chip.global_memory),
+        "dram": {
+            "kind": chip.dram.kind.value,
+            "size_bytes": chip.dram.size_bytes,
+            "bandwidth_bytes_per_s": chip.dram.bandwidth_bytes_per_s,
+            "modules": chip.dram.modules,
+        },
+        "noc": {
+            "bandwidth_bytes_per_s": chip.noc.bandwidth_bytes_per_s,
+            "topology": chip.noc.topology.value,
+            "hop_latency_s": chip.noc.hop_latency_s,
+        },
+        "p2p": {
+            "bandwidth_bytes_per_s": chip.p2p.bandwidth_bytes_per_s,
+            "latency_s": chip.p2p.latency_s,
+        },
+        "process": chip.process.label,
+        "die_area_mm2": chip.die_area_mm2,
+        "peak_flops_override": chip.peak_flops_override,
+        "tdp_w": chip.tdp_w,
+    }
+
+
+def chip_from_dict(data: dict) -> ChipSpec:
+    """Rebuild a :class:`ChipSpec` from :func:`chip_to_dict` output."""
+    process = data["process"]
+    if process not in _PROCESS_BY_LABEL:
+        known = ", ".join(sorted(_PROCESS_BY_LABEL))
+        raise KeyError(f"unknown process node {process!r}; known: {known}")
+    return ChipSpec(
+        name=data["name"],
+        kind=ChipKind(data["kind"]),
+        frequency_hz=data["frequency_hz"],
+        cores=data["cores"],
+        systolic_array=SystolicArray(**data["systolic_array"])
+        if data.get("systolic_array") else None,
+        mac_tree=MacTree(**data["mac_tree"]) if data.get("mac_tree") else None,
+        vector_unit=VectorUnit(**data["vector_unit"])
+        if data.get("vector_unit") else None,
+        local_memory=_sram_from_dict(data["local_memory"]),
+        global_memory=_sram_from_dict(data["global_memory"]),
+        dram=Dram(
+            kind=DramKind(data["dram"]["kind"]),
+            size_bytes=data["dram"]["size_bytes"],
+            bandwidth_bytes_per_s=data["dram"]["bandwidth_bytes_per_s"],
+            modules=data["dram"].get("modules", 8),
+        ),
+        noc=NocSpec(
+            bandwidth_bytes_per_s=data["noc"]["bandwidth_bytes_per_s"],
+            topology=NocTopology(data["noc"].get("topology", "ring")),
+            hop_latency_s=data["noc"].get("hop_latency_s", 2e-9),
+        ),
+        p2p=P2pSpec(
+            bandwidth_bytes_per_s=data["p2p"]["bandwidth_bytes_per_s"],
+            latency_s=data["p2p"].get("latency_s", 1e-6),
+        ),
+        process=_PROCESS_BY_LABEL[process],
+        die_area_mm2=data.get("die_area_mm2"),
+        peak_flops_override=data.get("peak_flops_override"),
+        tdp_w=data.get("tdp_w"),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Workload                                                               #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The load side of an experiment: which requests arrive, and when.
+
+    ``trace`` is a registry name (``"ultrachat"``, ``"fixed-512x128"``,
+    or anything registered via
+    :func:`repro.serving.traces.register_trace`) or an inline
+    :class:`ChatTraceConfig`.  ``arrival`` names the arrival process —
+    only ``"poisson"`` today, kept explicit so burst/diurnal processes
+    can slot in later without a schema change.
+    """
+
+    trace: str | ChatTraceConfig = "ultrachat"
+    arrival: str = "poisson"
+    rate_per_s: float = 15.0
+    num_requests: int = 200
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.arrival != "poisson":
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"supported: poisson")
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+
+    def trace_config(self) -> ChatTraceConfig:
+        """Resolve the trace reference to a concrete config."""
+        if isinstance(self.trace, ChatTraceConfig):
+            return self.trace
+        return get_trace(self.trace)
+
+    def build_requests(self) -> list:
+        """Generate the deterministic request stream this spec describes."""
+        import numpy as np
+
+        from repro.serving.generator import PoissonRequestGenerator
+
+        rng = np.random.default_rng(self.seed)
+        generator = PoissonRequestGenerator(self.trace_config(),
+                                            self.rate_per_s, rng)
+        return generator.generate(self.num_requests)
+
+    def to_dict(self) -> dict:
+        trace = self.trace if isinstance(self.trace, str) \
+            else asdict(self.trace)
+        return {
+            "trace": trace,
+            "arrival": self.arrival,
+            "rate_per_s": self.rate_per_s,
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+        }
+
+    _FIELDS = frozenset(
+        ("trace", "arrival", "rate_per_s", "num_requests", "seed"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        _require_mapping(data, "workload")
+        _reject_unknown_keys(data, cls._FIELDS, "workload")
+        trace = data.get("trace", "ultrachat")
+        if isinstance(trace, dict):
+            trace = ChatTraceConfig(**trace)
+        return cls(
+            trace=trace,
+            arrival=data.get("arrival", "poisson"),
+            rate_per_s=data.get("rate_per_s", 15.0),
+            num_requests=data.get("num_requests", 200),
+            seed=data.get("seed", 7),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Deployment                                                             #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """The endpoint side of an experiment: hardware, model, scheduling.
+
+    ``chip`` is a registry name or an inline custom :class:`ChipSpec`;
+    ``batching`` names a policy from
+    :mod:`repro.serving.policies`' registry; ``kv_budget_bytes`` of
+    ``None`` means unlimited KV memory (the scheduler's default).
+    """
+
+    chip: str | ChipSpec = "ador"
+    model: str = "llama3-8b"
+    num_devices: int = 1
+    max_batch: int = 256
+    prefill_chunk_tokens: int = 512
+    kv_budget_bytes: float | None = None
+    batching: str = "continuous"
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        # canonicalize "unlimited": None and +inf mean the same thing,
+        # and specs must compare equal after a JSON round-trip
+        if self.kv_budget_bytes == float("inf"):
+            object.__setattr__(self, "kv_budget_bytes", None)
+
+    def chip_spec(self) -> ChipSpec:
+        """Resolve the chip reference to a concrete spec."""
+        if isinstance(self.chip, ChipSpec):
+            return self.chip
+        return get_chip(self.chip)
+
+    def scheduler_limits(self) -> SchedulerLimits:
+        """The :class:`SchedulerLimits` this deployment implies."""
+        budget = float("inf") if self.kv_budget_bytes is None \
+            else self.kv_budget_bytes
+        return SchedulerLimits(
+            max_batch=self.max_batch,
+            prefill_chunk_tokens=self.prefill_chunk_tokens,
+            kv_budget_bytes=budget,
+        )
+
+    def to_dict(self) -> dict:
+        chip = self.chip if isinstance(self.chip, str) \
+            else chip_to_dict(self.chip)
+        return {
+            "chip": chip,
+            "model": self.model,
+            "num_devices": self.num_devices,
+            "max_batch": self.max_batch,
+            "prefill_chunk_tokens": self.prefill_chunk_tokens,
+            "kv_budget_bytes": _finite(self.kv_budget_bytes),
+            "batching": self.batching,
+        }
+
+    _FIELDS = frozenset(
+        ("chip", "model", "num_devices", "max_batch",
+         "prefill_chunk_tokens", "kv_budget_bytes", "batching"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentSpec":
+        _require_mapping(data, "deployment")
+        _reject_unknown_keys(data, cls._FIELDS, "deployment")
+        chip = data.get("chip", "ador")
+        if isinstance(chip, dict):
+            chip = chip_from_dict(chip)
+        return cls(
+            chip=chip,
+            model=data.get("model", "llama3-8b"),
+            num_devices=data.get("num_devices", 1),
+            max_batch=data.get("max_batch", 256),
+            prefill_chunk_tokens=data.get("prefill_chunk_tokens", 512),
+            kv_budget_bytes=data.get("kv_budget_bytes"),
+            batching=data.get("batching", "continuous"),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Experiment = deployment + workload + horizon                           #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class Experiment:
+    """A complete, runnable, serializable experiment description."""
+
+    deployment: DeploymentSpec
+    workload: WorkloadSpec
+    max_sim_seconds: float = 600.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_sim_seconds <= 0:
+            raise ValueError("max_sim_seconds must be positive")
+
+    def to_dict(self) -> dict:
+        data = {
+            "deployment": self.deployment.to_dict(),
+            "workload": self.workload.to_dict(),
+            "max_sim_seconds": self.max_sim_seconds,
+        }
+        if self.name:
+            data["name"] = self.name
+        return data
+
+    _FIELDS = frozenset(
+        ("deployment", "workload", "max_sim_seconds", "name"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Experiment":
+        _require_mapping(data, "experiment")
+        _reject_unknown_keys(data, cls._FIELDS, "experiment")
+        return cls(
+            deployment=DeploymentSpec.from_dict(data.get("deployment", {})),
+            workload=WorkloadSpec.from_dict(data.get("workload", {})),
+            max_sim_seconds=data.get("max_sim_seconds", 600.0),
+            name=data.get("name", ""),
+        )

@@ -1,21 +1,31 @@
 """Command-line interface: ``python -m repro`` or ``repro-ador``.
 
-Four subcommands cover the library's main entry points:
+Five subcommands cover the library's main entry points:
 
 * ``models``   — list the model zoo with key architecture facts;
 * ``evaluate`` — prefill/decode latency of a model on a chip preset;
 * ``search``   — run the ADOR architecture search (Fig. 9);
-* ``serve``    — simulate a serving endpoint and report QoS (Fig. 14b).
+* ``serve``    — simulate a serving endpoint and report QoS (Fig. 14b);
+* ``run``      — execute a declarative ``experiment.json`` end-to-end.
+
+Chips resolve by name through :mod:`repro.hardware.registry`, so presets
+registered by third-party code are addressable here without changes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
+import warnings
 
 from repro.analysis.tables import format_table
+from repro.api import (
+    DeploymentSpec,
+    EndpointOverloaded,
+    WorkloadSpec,
+    run_experiment,
+    simulate,
+)
 from repro.core.requirements import (
     SearchRequest,
     ServiceLevelObjectives,
@@ -25,32 +35,20 @@ from repro.core.scheduling import device_model_for
 from repro.core.search import AdorSearch
 from repro.hardware.area import AreaModel
 from repro.hardware.power import PowerModel
-from repro.hardware.presets import (
-    a100,
-    ador_table3,
-    groq_tsp,
-    h100,
-    llmcompass_latency,
-    llmcompass_throughput,
-    tpu_v4,
-)
+from repro.hardware.registry import CHIP_REGISTRY, get_chip, list_chips
 from repro.models.zoo import get_model, list_models
-from repro.serving.dataset import ULTRACHAT_LIKE
-from repro.serving.engine import ServingEngine
-from repro.serving.generator import PoissonRequestGenerator
-from repro.serving.qos import compute_qos
-from repro.serving.scheduler import SchedulerLimits
-from repro.serving.utilization import utilization_report
 
-CHIP_PRESETS = {
-    "ador": ador_table3,
-    "a100": a100,
-    "h100": h100,
-    "tpuv4": tpu_v4,
-    "tsp": groq_tsp,
-    "llmcompass-l": llmcompass_latency,
-    "llmcompass-t": llmcompass_throughput,
-}
+
+def __getattr__(name: str):
+    # Deprecation shim: the old hard-coded preset table is now the chip
+    # registry; keep ``from repro.cli import CHIP_PRESETS`` importable.
+    if name == "CHIP_PRESETS":
+        warnings.warn(
+            "repro.cli.CHIP_PRESETS is deprecated; use "
+            "repro.hardware.registry.get_chip/list_chips instead",
+            DeprecationWarning, stacklevel=2)
+        return {chip: CHIP_REGISTRY.get(chip) for chip in list_chips()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _cmd_models(_args: argparse.Namespace) -> int:
@@ -73,7 +71,7 @@ def _cmd_models(_args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     model = get_model(args.model)
-    chip = CHIP_PRESETS[args.chip]()
+    chip = get_chip(args.chip)
     device = device_model_for(chip)
     area = AreaModel().die_area_mm2(chip)
     power = PowerModel().tdp_w(chip)
@@ -122,32 +120,50 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    model = get_model(args.model)
-    chip = CHIP_PRESETS[args.chip]()
-    device = device_model_for(chip)
-    rng = np.random.default_rng(args.seed)
-    requests = PoissonRequestGenerator(
-        ULTRACHAT_LIKE, args.rate, rng).generate(args.requests)
-    engine = ServingEngine(device, model,
-                           SchedulerLimits(max_batch=args.max_batch),
-                           num_devices=args.devices)
-    result = engine.run(requests)
-    if not result.finished:
-        print("no requests finished — the endpoint cannot sustain this load")
+    deployment = DeploymentSpec(
+        chip=args.chip,
+        model=args.model,
+        num_devices=args.devices,
+        max_batch=args.max_batch,
+        batching=args.policy,
+    )
+    workload = WorkloadSpec(
+        trace=args.trace,
+        rate_per_s=args.rate,
+        num_requests=args.requests,
+        seed=args.seed,
+    )
+    try:
+        report = simulate(deployment, workload)
+    except EndpointOverloaded as exc:
+        print(f"no requests finished — {exc}")
         return 1
-    qos = compute_qos(result.finished, result.total_time_s)
-    print(f"simulated {len(result.finished)} requests at {args.rate} req/s "
-          f"on {chip.name}:")
-    print(f"  TTFT mean/p95 : {qos.ttft_mean_s * 1e3:.1f} / "
-          f"{qos.ttft_p95_s * 1e3:.1f} ms")
-    print(f"  TBT  mean/p95 : {qos.tbt_mean_s * 1e3:.2f} / "
-          f"{qos.tbt_p95_s * 1e3:.2f} ms")
-    print(f"  E2E  mean     : {qos.e2e_mean_s:.2f} s")
-    print(f"  throughput    : {qos.tokens_per_s:,.0f} tokens/s")
-    util = utilization_report(result, model, chip, args.devices)
-    for key, value in util.as_dict().items():
-        print(f"  {key}: {value:.2f}")
+    except (KeyError, ValueError) as exc:
+        print(f"error: {_exc_message(exc)}", file=sys.stderr)
+        return 2
+    print(report.summary())
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        report = run_experiment(args.experiment)
+    except EndpointOverloaded as exc:
+        print(f"no requests finished — {exc}")
+        return 1
+    except (KeyError, ValueError, OSError, TypeError) as exc:
+        # bad chip/trace/policy name, malformed spec, unreadable file —
+        # a one-line CLI error, not a traceback
+        print(f"error: {_exc_message(exc)}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0
+
+
+def _exc_message(exc: BaseException) -> str:
+    # str(KeyError) wraps the message in quotes; unwrap for clean output
+    return exc.args[0] if exc.args and isinstance(exc.args[0], str) \
+        else str(exc)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,8 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = sub.add_parser("evaluate", help="stage latencies on a chip")
     evaluate.add_argument("--model", default="llama3-8b")
-    evaluate.add_argument("--chip", choices=sorted(CHIP_PRESETS),
-                          default="ador")
+    evaluate.add_argument("--chip", choices=list_chips(), default="ador")
     evaluate.add_argument("--seq-len", type=int, default=1024)
     evaluate.add_argument("--devices", type=int, default=1)
     evaluate.add_argument("--batches", type=int, nargs="+",
@@ -180,13 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="simulate a serving endpoint")
     serve.add_argument("--model", default="llama3-8b")
-    serve.add_argument("--chip", choices=sorted(CHIP_PRESETS),
-                       default="ador")
+    serve.add_argument("--chip", choices=list_chips(), default="ador")
+    serve.add_argument("--trace", default="ultrachat",
+                       help="workload trace name (e.g. ultrachat, "
+                            "fixed-512x128)")
+    serve.add_argument("--policy", default="continuous",
+                       help="batching policy name")
     serve.add_argument("--rate", type=float, default=15.0)
     serve.add_argument("--requests", type=int, default=200)
     serve.add_argument("--max-batch", type=int, default=256)
     serve.add_argument("--devices", type=int, default=1)
-    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--seed", type=int, default=7,
+                       help="RNG seed for arrivals and token lengths "
+                            "(reruns with the same seed are bit-identical)")
+
+    run = sub.add_parser(
+        "run", help="execute a declarative experiment.json file")
+    run.add_argument("experiment", help="path to an experiment JSON file")
     return parser
 
 
@@ -197,6 +222,7 @@ def main(argv: list | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "search": _cmd_search,
         "serve": _cmd_serve,
+        "run": _cmd_run,
     }
     return handlers[args.command](args)
 

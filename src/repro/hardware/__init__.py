@@ -23,8 +23,18 @@ from repro.hardware.presets import (
     llmcompass_throughput,
     tpu_v4,
 )
+from repro.hardware.registry import (
+    CHIP_REGISTRY,
+    get_chip,
+    list_chips,
+    register_chip,
+)
 
 __all__ = [
+    "CHIP_REGISTRY",
+    "get_chip",
+    "list_chips",
+    "register_chip",
     "ProcessNode",
     "area_scaling_factor",
     "normalize_area",

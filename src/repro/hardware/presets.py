@@ -9,6 +9,7 @@ are full template instantiations whose die areas the calibrated
 from __future__ import annotations
 
 from repro.hardware.chip import ChipKind, ChipSpec
+from repro.hardware.registry import register_chip
 from repro.hardware.components import MacTree, SystolicArray, VectorUnit
 from repro.hardware.interconnect import NocSpec, P2pSpec
 from repro.hardware.memory import Dram, DramKind, Sram, GIB, KIB, MIB
@@ -19,6 +20,7 @@ _TBPS = 1e12
 from repro.hardware.technology import ProcessNode
 
 
+@register_chip("a100")
 def a100() -> ChipSpec:
     """NVIDIA A100 as configured in Table III (2 TB/s HBM2e variant)."""
     return ChipSpec(
@@ -41,6 +43,7 @@ def a100() -> ChipSpec:
     )
 
 
+@register_chip("h100")
 def h100() -> ChipSpec:
     """NVIDIA H100 per Table I."""
     return ChipSpec(
@@ -63,6 +66,7 @@ def h100() -> ChipSpec:
     )
 
 
+@register_chip("tpuv4")
 def tpu_v4() -> ChipSpec:
     """Google TPUv4 per Table I — a throughput-oriented systolic NPU."""
     return ChipSpec(
@@ -85,6 +89,7 @@ def tpu_v4() -> ChipSpec:
     )
 
 
+@register_chip("tsp")
 def groq_tsp() -> ChipSpec:
     """Groq TSP per Table I — all weights resident in on-chip SRAM.
 
@@ -112,6 +117,7 @@ def groq_tsp() -> ChipSpec:
     )
 
 
+@register_chip("llmcompass-l")
 def llmcompass_latency() -> ChipSpec:
     """LLMCompass's latency-oriented design (Table III column "L")."""
     return ChipSpec(
@@ -131,6 +137,7 @@ def llmcompass_latency() -> ChipSpec:
     )
 
 
+@register_chip("llmcompass-t")
 def llmcompass_throughput() -> ChipSpec:
     """LLMCompass's throughput-oriented design (Table III column "T")."""
     return ChipSpec(
@@ -150,6 +157,7 @@ def llmcompass_throughput() -> ChipSpec:
     )
 
 
+@register_chip("ador")
 def ador_table3() -> ChipSpec:
     """The ADOR design the paper's DSE proposes (Table III last column).
 

@@ -16,7 +16,14 @@ from repro.serving.engine import ServingEngine, SimulationResult
 from repro.serving.qos import QoSReport, compute_qos
 from repro.serving.capacity import CapacityResult, max_capacity_under_slo
 from repro.serving.utilization import UtilizationReport, utilization_report
-from repro.serving.policies import BatchingPolicy, simulate_policy
+from repro.serving.policies import (
+    BatchingPolicy,
+    get_policy,
+    list_policies,
+    register_policy,
+    simulate_policy,
+)
+from repro.serving.traces import get_trace, list_traces, register_trace
 from repro.serving.sessions import (
     MultiTurnSessionGenerator,
     SessionConfig,
@@ -37,6 +44,12 @@ __all__ = [
     "save_requests",
     "BatchingPolicy",
     "simulate_policy",
+    "get_policy",
+    "list_policies",
+    "register_policy",
+    "get_trace",
+    "list_traces",
+    "register_trace",
     "MultiTurnSessionGenerator",
     "SessionConfig",
     "SessionTurn",

@@ -127,8 +127,9 @@ class ServingEngine:
             if not plan.has_work:
                 if not pending:
                     break
-                # idle until the next arrival
-                now = pending[0].arrival_time
+                # idle until the next arrival, never past the horizon
+                # (a late arrival must not inflate total_time_s)
+                now = min(pending[0].arrival_time, max_sim_seconds)
                 continue
             step, decode_part, prefill_part = self._iteration_seconds(plan)
             now += step

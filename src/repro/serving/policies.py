@@ -16,9 +16,11 @@ ablation bench can quantify the sketch:
 from __future__ import annotations
 
 import enum
+from typing import Callable
 
 from repro.models.config import ModelConfig
 from repro.perf.baselines import DeviceModel
+from repro.registry import Registry
 from repro.serving.engine import ServingEngine, SimulationResult
 from repro.serving.request import Request
 from repro.serving.scheduler import SchedulerLimits
@@ -28,6 +30,38 @@ class BatchingPolicy(enum.Enum):
     NO_BATCHING = "no-batching"
     STATIC = "static"
     CONTINUOUS = "continuous"
+
+
+#: A policy runner simulates one request stream under one discipline:
+#: ``runner(device, model, requests, limits, num_devices, max_sim_seconds)``.
+PolicyRunner = Callable[..., SimulationResult]
+
+POLICY_REGISTRY = Registry("batching policy")
+
+
+def register_policy(name: str) -> Callable[[PolicyRunner], PolicyRunner]:
+    """Decorator: register a :data:`PolicyRunner` under ``name``.
+
+    Third-party disciplines (priority queues, SLO-aware admission, ...)
+    plug in here and become addressable from ``DeploymentSpec.batching``
+    and experiment JSON files without touching core.
+    """
+
+    def _decorate(runner: PolicyRunner) -> PolicyRunner:
+        POLICY_REGISTRY.register(name, runner)
+        return runner
+
+    return _decorate
+
+
+def get_policy(name: str) -> PolicyRunner:
+    """Look up a policy runner by name."""
+    return POLICY_REGISTRY.get(name)
+
+
+def list_policies() -> list[str]:
+    """Registered policy names, sorted."""
+    return POLICY_REGISTRY.names()
 
 
 def _simulate_no_batching(device: DeviceModel, model: ModelConfig,
@@ -117,6 +151,33 @@ def _simulate_static(device: DeviceModel, model: ModelConfig,
     )
 
 
+@register_policy("no-batching")
+def run_no_batching(device: DeviceModel, model: ModelConfig, requests: list,
+                    limits: SchedulerLimits, num_devices: int = 1,
+                    max_sim_seconds: float = 3600.0) -> SimulationResult:
+    """FIFO, one request at a time (``limits`` is ignored by design)."""
+    return _simulate_no_batching(device, model, requests, num_devices,
+                                 max_sim_seconds)
+
+
+@register_policy("static")
+def run_static(device: DeviceModel, model: ModelConfig, requests: list,
+               limits: SchedulerLimits, num_devices: int = 1,
+               max_sim_seconds: float = 3600.0) -> SimulationResult:
+    """Fixed batches of ``limits.max_batch`` requests."""
+    return _simulate_static(device, model, requests, limits.max_batch,
+                            num_devices, max_sim_seconds)
+
+
+@register_policy("continuous")
+def run_continuous(device: DeviceModel, model: ModelConfig, requests: list,
+                   limits: SchedulerLimits, num_devices: int = 1,
+                   max_sim_seconds: float = 3600.0) -> SimulationResult:
+    """Iteration-level continuous batching (the paper's default)."""
+    engine = ServingEngine(device, model, limits, num_devices)
+    return engine.run(requests, max_sim_seconds=max_sim_seconds)
+
+
 def simulate_policy(
     policy: BatchingPolicy,
     device: DeviceModel,
@@ -126,14 +187,13 @@ def simulate_policy(
     num_devices: int = 1,
     max_sim_seconds: float = 3600.0,
 ) -> SimulationResult:
-    """Run ``requests`` under the chosen batching discipline."""
-    if policy == BatchingPolicy.NO_BATCHING:
-        return _simulate_no_batching(device, model, requests, num_devices,
-                                     max_sim_seconds)
-    if policy == BatchingPolicy.STATIC:
-        return _simulate_static(device, model, requests, batch_size,
-                                num_devices, max_sim_seconds)
-    engine = ServingEngine(device, model,
-                           SchedulerLimits(max_batch=batch_size),
-                           num_devices)
-    return engine.run(requests, max_sim_seconds=max_sim_seconds)
+    """Run ``requests`` under the chosen batching discipline.
+
+    Compatibility wrapper over the named policy registry; new code should
+    resolve runners with :func:`get_policy` (or go through
+    :func:`repro.api.simulate`) instead.
+    """
+    runner = get_policy(policy.value)
+    return runner(device, model, requests,
+                  SchedulerLimits(max_batch=batch_size),
+                  num_devices=num_devices, max_sim_seconds=max_sim_seconds)

@@ -1,0 +1,325 @@
+"""Tests for the declarative experiment API (``repro.api``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DeploymentSpec,
+    EndpointOverloaded,
+    Experiment,
+    WorkloadSpec,
+    chip_from_dict,
+    chip_to_dict,
+    get_chip,
+    get_policy,
+    get_trace,
+    list_chips,
+    list_policies,
+    list_traces,
+    load_experiment,
+    register_chip,
+    register_policy,
+    register_trace,
+    run_experiment,
+    save_experiment,
+    simulate,
+)
+from repro.core.scheduling import device_model_for
+from repro.hardware.chip import ChipSpec
+from repro.hardware.registry import CHIP_REGISTRY
+from repro.models.zoo import get_model
+from repro.serving.dataset import ULTRACHAT_LIKE, ChatTraceConfig
+from repro.serving.engine import ServingEngine
+from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.policies import POLICY_REGISTRY
+from repro.serving.qos import compute_qos
+from repro.serving.scheduler import SchedulerLimits
+from repro.serving.traces import TRACE_REGISTRY
+
+
+# --------------------------------------------------------------------- #
+# Registries                                                             #
+# --------------------------------------------------------------------- #
+
+class TestChipRegistry:
+    def test_builtin_presets_registered(self):
+        for name in ("ador", "a100", "h100", "tpuv4", "tsp",
+                     "llmcompass-l", "llmcompass-t"):
+            assert name in list_chips()
+
+    def test_get_chip_returns_fresh_spec(self):
+        first, second = get_chip("ador"), get_chip("ador")
+        assert isinstance(first, ChipSpec)
+        assert first == second
+        assert first is not second
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_chip("ADOR") == get_chip("ador")
+
+    def test_unknown_chip_lists_known_names(self):
+        with pytest.raises(KeyError, match="ador"):
+            get_chip("tpu-v9")
+
+    def test_register_chip_decorator_and_duplicate_rejection(self):
+        @register_chip("test-chip-xyz")
+        def factory():
+            return get_chip("ador").with_updates(name="Test Chip XYZ")
+
+        try:
+            assert get_chip("test-chip-xyz").name == "Test Chip XYZ"
+            with pytest.raises(ValueError, match="already registered"):
+                register_chip("test-chip-xyz")(factory)
+        finally:
+            CHIP_REGISTRY.unregister("test-chip-xyz")
+
+
+class TestTraceRegistry:
+    def test_builtin_traces(self):
+        assert "ultrachat" in list_traces()
+        assert get_trace("ultrachat") == ULTRACHAT_LIKE
+
+    def test_dynamic_fixed_trace(self):
+        trace = get_trace("fixed-512x128")
+        assert trace.input_median == 512.0
+        assert trace.output_median == 128.0
+        assert trace.input_sigma == 0.0
+
+    def test_unknown_trace_raises(self):
+        with pytest.raises(KeyError, match="unknown trace"):
+            get_trace("sharegpt")
+
+    def test_register_trace_direct(self):
+        trace = ChatTraceConfig(name="tiny", input_median=10.0,
+                                input_sigma=0.0, output_median=20.0,
+                                output_sigma=0.0, min_input=1, min_output=1)
+        register_trace("tiny-test-trace", trace)
+        try:
+            assert get_trace("tiny-test-trace") == trace
+        finally:
+            TRACE_REGISTRY.unregister("tiny-test-trace")
+
+
+class TestPolicyRegistry:
+    def test_builtin_policies(self):
+        assert list_policies() == ["continuous", "no-batching", "static"]
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError, match="unknown batching policy"):
+            get_policy("priority")
+
+    def test_register_policy_decorator(self):
+        @register_policy("test-passthrough")
+        def runner(device, model, requests, limits, num_devices=1,
+                   max_sim_seconds=600.0):
+            return get_policy("continuous")(
+                device, model, requests, limits,
+                num_devices=num_devices, max_sim_seconds=max_sim_seconds)
+
+        try:
+            assert get_policy("test-passthrough") is runner
+        finally:
+            POLICY_REGISTRY.unregister("test-passthrough")
+
+
+# --------------------------------------------------------------------- #
+# Spec serialization                                                     #
+# --------------------------------------------------------------------- #
+
+class TestSpecRoundTrip:
+    def test_workload_round_trip(self):
+        spec = WorkloadSpec(trace="fixed-256x64", rate_per_s=8.0,
+                            num_requests=64, seed=3)
+        clone = WorkloadSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_workload_with_inline_trace_round_trip(self):
+        spec = WorkloadSpec(trace=ULTRACHAT_LIKE, rate_per_s=4.0,
+                            num_requests=10, seed=1)
+        clone = WorkloadSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert isinstance(clone.trace, ChatTraceConfig)
+
+    def test_deployment_round_trip(self):
+        spec = DeploymentSpec(chip="h100", model="llama3-70b",
+                              num_devices=8, max_batch=64,
+                              prefill_chunk_tokens=256,
+                              kv_budget_bytes=40e9, batching="static")
+        clone = DeploymentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_deployment_with_custom_chip_round_trip(self):
+        chip = get_chip("ador").with_updates(name="Custom ADOR", cores=16)
+        spec = DeploymentSpec(chip=chip)
+        clone = DeploymentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone.chip == chip
+        assert clone.chip_spec().cores == 16
+
+    def test_every_builtin_chip_round_trips(self):
+        for name in list_chips():
+            chip = get_chip(name)
+            data = json.loads(json.dumps(chip_to_dict(chip)))
+            assert chip_from_dict(data) == chip, name
+
+    def test_kv_budget_infinity_serializes_as_null(self):
+        limits = DeploymentSpec(kv_budget_bytes=None).scheduler_limits()
+        assert limits.kv_budget_bytes == float("inf")
+        data = DeploymentSpec(kv_budget_bytes=None).to_dict()
+        assert data["kv_budget_bytes"] is None
+
+    def test_experiment_round_trip(self):
+        experiment = Experiment(
+            deployment=DeploymentSpec(chip="a100", max_batch=32),
+            workload=WorkloadSpec(rate_per_s=3.0, num_requests=12, seed=9),
+            max_sim_seconds=120.0,
+            name="round-trip",
+        )
+        clone = Experiment.from_dict(
+            json.loads(json.dumps(experiment.to_dict())))
+        assert clone == experiment
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError, match="arrival"):
+            WorkloadSpec(arrival="bursty")
+        with pytest.raises(ValueError, match="rate"):
+            WorkloadSpec(rate_per_s=0.0)
+        with pytest.raises(ValueError, match="num_requests"):
+            WorkloadSpec(num_requests=0)
+
+    def test_deployment_validation(self):
+        with pytest.raises(ValueError, match="num_devices"):
+            DeploymentSpec(num_devices=0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown workload field"):
+            WorkloadSpec.from_dict({"rate": 99.0})
+        with pytest.raises(ValueError, match="unknown deployment field"):
+            DeploymentSpec.from_dict({"chp": "h100"})
+        with pytest.raises(ValueError, match="unknown experiment field"):
+            Experiment.from_dict({"deploy": {}})
+
+    def test_from_dict_rejects_non_object_sections(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            Experiment.from_dict({"workload": "ultrachat"})
+        with pytest.raises(ValueError, match="JSON object"):
+            DeploymentSpec.from_dict([1, 2])
+
+    def test_infinite_kv_budget_canonicalizes_and_round_trips(self):
+        spec = DeploymentSpec(kv_budget_bytes=float("inf"))
+        assert spec.kv_budget_bytes is None
+        assert spec == DeploymentSpec(kv_budget_bytes=None)
+        clone = DeploymentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.scheduler_limits().kv_budget_bytes == float("inf")
+
+
+# --------------------------------------------------------------------- #
+# The simulate() facade                                                  #
+# --------------------------------------------------------------------- #
+
+class TestSimulate:
+    def test_matches_hand_wired_engine(self):
+        """The facade must agree with the six-object chain it replaced."""
+        workload = WorkloadSpec(trace="ultrachat", rate_per_s=5.0,
+                                num_requests=30, seed=7)
+        report = simulate(DeploymentSpec(chip="ador", model="llama3-8b",
+                                         max_batch=256), workload)
+
+        chip = get_chip("ador")
+        model = get_model("llama3-8b")
+        device = device_model_for(chip)
+        rng = np.random.default_rng(7)
+        requests = PoissonRequestGenerator(ULTRACHAT_LIKE, 5.0,
+                                           rng).generate(30)
+        engine = ServingEngine(device, model,
+                               SchedulerLimits(max_batch=256))
+        result = engine.run(requests)
+        qos = compute_qos(result.finished, result.total_time_s)
+
+        assert report.qos == qos
+        assert report.result.total_time_s == result.total_time_s
+        assert report.result.iterations == result.iterations
+        assert len(report.result.finished) == len(result.finished)
+
+    def test_report_bundles_all_sections(self):
+        report = simulate(DeploymentSpec(), WorkloadSpec(rate_per_s=5.0,
+                                                         num_requests=20))
+        assert report.qos.request_count == len(report.result.finished)
+        assert 0.0 < report.utilization.busy_fraction <= 1.0
+        summary = report.summary()
+        assert "TTFT" in summary and "tokens/s" in summary
+
+    def test_same_seed_is_deterministic(self):
+        deployment = DeploymentSpec(max_batch=64)
+        workload = WorkloadSpec(rate_per_s=5.0, num_requests=20, seed=42)
+        assert simulate(deployment, workload).qos == \
+            simulate(deployment, workload).qos
+
+    def test_overload_raises(self):
+        # one request arriving after a tiny horizon: nothing can finish
+        deployment = DeploymentSpec()
+        workload = WorkloadSpec(trace="fixed-4096x2048", rate_per_s=0.001,
+                                num_requests=1, seed=0)
+        with pytest.raises(EndpointOverloaded):
+            simulate(deployment, workload, max_sim_seconds=0.001)
+
+
+class TestExperimentFiles:
+    def test_save_load_run_identical_report(self, tmp_path):
+        """Acceptance: build in Python, serialize, reload -> same report."""
+        experiment = Experiment(
+            deployment=DeploymentSpec(chip="ador", max_batch=128),
+            workload=WorkloadSpec(rate_per_s=5.0, num_requests=25, seed=13),
+        )
+        direct = run_experiment(experiment)
+
+        path = save_experiment(experiment, tmp_path / "experiment.json")
+        loaded = load_experiment(path)
+        assert loaded == experiment
+
+        replayed = run_experiment(path)
+        assert replayed.qos == direct.qos
+        assert replayed.utilization == direct.utilization
+        assert replayed.result.total_time_s == direct.result.total_time_s
+
+    def test_rejects_non_object_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_experiment(path)
+
+    def test_committed_sample_experiment_loads(self):
+        import pathlib
+        sample = pathlib.Path(__file__).parent.parent \
+            / "experiments" / "ultrachat_ador.json"
+        experiment = load_experiment(sample)
+        assert experiment.deployment.chip == "ador"
+        assert experiment.workload.seed == 7
+
+
+# --------------------------------------------------------------------- #
+# Engine horizon clamp (regression)                                      #
+# --------------------------------------------------------------------- #
+
+class TestEngineHorizonClamp:
+    def test_late_arrival_does_not_inflate_total_time(self):
+        from repro.serving.request import Request
+
+        device = device_model_for(get_chip("ador"))
+        model = get_model("llama3-8b")
+        engine = ServingEngine(device, model, SchedulerLimits(max_batch=8))
+        requests = [
+            Request(request_id=0, arrival_time=0.0, input_tokens=64,
+                    output_tokens=4),
+            # arrives far beyond the horizon: must not stretch the clock
+            Request(request_id=1, arrival_time=500.0, input_tokens=64,
+                    output_tokens=4),
+        ]
+        result = engine.run(requests, max_sim_seconds=10.0)
+        assert result.total_time_s <= 10.0
+        assert len(result.finished) == 1
+        assert len(result.unfinished) == 1

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import CHIP_PRESETS, build_parser, main
+from repro.cli import build_parser, main
+from repro.hardware.registry import list_chips
 
 
 class TestParser:
@@ -10,15 +13,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_all_presets_parse(self):
+    def test_all_registered_chips_parse(self):
         parser = build_parser()
-        for preset in CHIP_PRESETS:
+        for preset in list_chips():
             args = parser.parse_args(["evaluate", "--chip", preset])
             assert args.chip == preset
 
     def test_unknown_chip_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "--chip", "tpu-v9"])
+
+    def test_chip_presets_shim_warns_but_works(self):
+        import repro.cli as cli_module
+
+        with pytest.warns(DeprecationWarning):
+            presets = cli_module.CHIP_PRESETS
+        assert set(presets) == set(list_chips())
+        assert all(callable(factory) for factory in presets.values())
 
 
 class TestCommands:
@@ -42,6 +53,32 @@ class TestCommands:
     def test_serve_reports_qos(self, capsys):
         code = main(["serve", "--rate", "5", "--requests", "30"])
         assert code == 0
+        out = capsys.readouterr().out
+        assert "TTFT" in out and "tokens/s" in out
+
+    def test_serve_seed_is_reproducible(self, capsys):
+        assert main(["serve", "--rate", "5", "--requests", "20",
+                     "--seed", "21"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "--rate", "5", "--requests", "20",
+                     "--seed", "21"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert main(["serve", "--rate", "5", "--requests", "20",
+                     "--seed", "22"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_run_executes_experiment_file(self, capsys, tmp_path):
+        experiment = {
+            "deployment": {"chip": "ador", "model": "llama3-8b",
+                           "max_batch": 64},
+            "workload": {"trace": "ultrachat", "rate_per_s": 5.0,
+                         "num_requests": 20, "seed": 7},
+            "max_sim_seconds": 600.0,
+        }
+        path = tmp_path / "experiment.json"
+        path.write_text(json.dumps(experiment))
+        assert main(["run", str(path)]) == 0
         out = capsys.readouterr().out
         assert "TTFT" in out and "tokens/s" in out
 
