@@ -1,9 +1,11 @@
 """``repro.api`` — the declarative experiment surface of the framework.
 
 One import gives the full exploration loop the ROADMAP asks for: named
-registries over chips / traces / batching policies, frozen serializable
-specs, and a :func:`simulate` facade returning a unified
-:class:`ServingReport`::
+registries over chips / traces / batching policies / router policies,
+frozen serializable specs, and a :func:`simulate` facade returning a
+unified :class:`ServingReport` — or, with ``replicas > 1``, a
+:class:`ClusterReport` from the multi-replica cluster engine
+(:mod:`repro.cluster`)::
 
     from repro.api import DeploymentSpec, WorkloadSpec, simulate
 
@@ -21,13 +23,16 @@ identical report.
 """
 
 from repro.api.facade import (
+    ClusterReport,
     EndpointOverloaded,
     ServingReport,
     load_experiment,
     run_experiment,
     save_experiment,
     simulate,
+    simulate_cluster,
 )
+from repro.cluster.router import get_router, list_routers, register_router
 from repro.api.specs import (
     DeploymentSpec,
     Experiment,
@@ -46,8 +51,13 @@ __all__ = [
     "WorkloadSpec",
     "Experiment",
     "ServingReport",
+    "ClusterReport",
     "EndpointOverloaded",
     "simulate",
+    "simulate_cluster",
+    "get_router",
+    "list_routers",
+    "register_router",
     "load_experiment",
     "save_experiment",
     "run_experiment",

@@ -22,6 +22,8 @@ import pathlib
 from dataclasses import dataclass
 
 from repro.api.specs import DeploymentSpec, Experiment, WorkloadSpec
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.report import ClusterResult, LoadImbalanceStats
 from repro.core.scheduling import device_model_for
 from repro.hardware.chip import ChipSpec
 from repro.models.config import ModelConfig
@@ -77,12 +79,18 @@ class ServingReport:
 
 
 def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
-             max_sim_seconds: float = 600.0) -> ServingReport:
+             max_sim_seconds: float = 600.0
+             ) -> "ServingReport | ClusterReport":
     """Run one serving experiment end-to-end and report QoS + utilization.
 
-    Raises :class:`EndpointOverloaded` if not a single request finishes
-    within the horizon — the spec'd endpoint cannot sustain the load.
+    Dispatches to :func:`simulate_cluster` when the deployment asks for
+    more than one replica.  Raises :class:`EndpointOverloaded` if not a
+    single request finishes within the horizon — the spec'd endpoint
+    cannot sustain the load.
     """
+    if deployment.replicas > 1:
+        return simulate_cluster(deployment, workload,
+                                max_sim_seconds=max_sim_seconds)
     chip = deployment.chip_spec()
     model = get_model(deployment.model)
     device = device_model_for(chip)
@@ -109,6 +117,101 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
 
 
 # --------------------------------------------------------------------- #
+# Cluster experiments                                                    #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Unified outcome of one multi-replica serving experiment.
+
+    The fleet-level analogue of :class:`ServingReport`: cluster QoS is
+    computed over every finished request against the slowest replica's
+    wall clock, and ``load`` summarizes how evenly the router spread the
+    work.  ``result`` is the merged fleet view; per-replica results stay
+    available in ``cluster.replica_results``.
+    """
+
+    deployment: DeploymentSpec
+    workload: WorkloadSpec
+    chip: ChipSpec
+    model: ModelConfig
+    cluster: ClusterResult
+    qos: QoSReport
+
+    @property
+    def result(self) -> SimulationResult:
+        return self.cluster.merged
+
+    @property
+    def load(self) -> LoadImbalanceStats:
+        return self.cluster.load
+
+    def summary_lines(self) -> list[str]:
+        qos, load = self.qos, self.load
+        requests = ", ".join(str(n) for n in load.requests_per_replica)
+        busy = ", ".join(f"{b:.2f}"
+                         for b in load.busy_fraction_per_replica)
+        return [
+            f"simulated {len(self.result.finished)} requests at "
+            f"{self.workload.rate_per_s:g} req/s on "
+            f"{self.deployment.replicas}x {self.chip.name} "
+            f"({self.deployment.num_devices} device(s)/replica, "
+            f"{self.deployment.router} routing):",
+            f"  TTFT mean/p95 : {qos.ttft_mean_s * 1e3:.1f} / "
+            f"{qos.ttft_p95_s * 1e3:.1f} ms",
+            f"  TBT  mean/p95 : {qos.tbt_mean_s * 1e3:.2f} / "
+            f"{qos.tbt_p95_s * 1e3:.2f} ms",
+            f"  E2E  mean     : {qos.e2e_mean_s:.2f} s",
+            f"  throughput    : {qos.tokens_per_s:,.0f} tokens/s",
+            f"  requests/replica : {requests} "
+            f"(imbalance {load.request_imbalance:.2f})",
+            f"  busy fraction/replica : {busy}",
+        ]
+
+    def summary(self) -> str:
+        return "\n".join(self.summary_lines())
+
+
+def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
+                     max_sim_seconds: float = 600.0) -> ClusterReport:
+    """Run one cluster experiment: N replicas behind the spec'd router.
+
+    The cluster engine is iteration-faithful only for continuous
+    batching (each replica is a live, steppable endpoint); other
+    batching policies are rejected loudly rather than silently
+    approximated.
+    """
+    if deployment.batching != "continuous":
+        raise ValueError(
+            f"cluster serving requires continuous batching, "
+            f"got {deployment.batching!r}")
+    chip = deployment.chip_spec()
+    model = get_model(deployment.model)
+    device = device_model_for(chip)
+    requests = workload.build_requests()
+    engine = ClusterEngine(
+        device, model, deployment.scheduler_limits(),
+        num_devices=deployment.num_devices,
+        replicas=deployment.replicas,
+        router=deployment.router,
+    )
+    cluster = engine.run(requests, max_sim_seconds=max_sim_seconds)
+    if not cluster.merged.finished:
+        raise EndpointOverloaded(
+            f"no requests finished within {max_sim_seconds:g} s — "
+            f"{deployment.replicas}x {chip.name} cannot sustain "
+            f"{workload.rate_per_s:g} req/s")
+    return ClusterReport(
+        deployment=deployment,
+        workload=workload,
+        chip=chip,
+        model=model,
+        cluster=cluster,
+        qos=cluster.qos(),
+    )
+
+
+# --------------------------------------------------------------------- #
 # Experiment files                                                       #
 # --------------------------------------------------------------------- #
 
@@ -128,7 +231,8 @@ def save_experiment(experiment: Experiment,
     return path
 
 
-def run_experiment(source: Experiment | str | pathlib.Path) -> ServingReport:
+def run_experiment(source: Experiment | str | pathlib.Path
+                   ) -> ServingReport | ClusterReport:
     """Execute an :class:`Experiment` (or a path to one) end-to-end."""
     experiment = source if isinstance(source, Experiment) \
         else load_experiment(source)

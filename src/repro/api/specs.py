@@ -237,6 +237,11 @@ class DeploymentSpec:
     ``batching`` names a policy from
     :mod:`repro.serving.policies`' registry; ``kv_budget_bytes`` of
     ``None`` means unlimited KV memory (the scheduler's default).
+
+    ``replicas`` scales the deployment to a fleet of identical endpoints
+    behind a router named by ``router`` (a
+    :mod:`repro.cluster.router` registry entry); with ``replicas > 1``
+    :func:`repro.api.simulate` dispatches to the cluster engine.
     """
 
     chip: str | ChipSpec = "ador"
@@ -246,10 +251,14 @@ class DeploymentSpec:
     prefill_chunk_tokens: int = 512
     kv_budget_bytes: float | None = None
     batching: str = "continuous"
+    replicas: int = 1
+    router: str = "round-robin"
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
         # canonicalize "unlimited": None and +inf mean the same thing,
         # and specs must compare equal after a JSON round-trip
         if self.kv_budget_bytes == float("inf"):
@@ -282,11 +291,14 @@ class DeploymentSpec:
             "prefill_chunk_tokens": self.prefill_chunk_tokens,
             "kv_budget_bytes": _finite(self.kv_budget_bytes),
             "batching": self.batching,
+            "replicas": self.replicas,
+            "router": self.router,
         }
 
     _FIELDS = frozenset(
         ("chip", "model", "num_devices", "max_batch",
-         "prefill_chunk_tokens", "kv_budget_bytes", "batching"))
+         "prefill_chunk_tokens", "kv_budget_bytes", "batching",
+         "replicas", "router"))
 
     @classmethod
     def from_dict(cls, data: dict) -> "DeploymentSpec":
@@ -303,6 +315,8 @@ class DeploymentSpec:
             prefill_chunk_tokens=data.get("prefill_chunk_tokens", 512),
             kv_budget_bytes=data.get("kv_budget_bytes"),
             batching=data.get("batching", "continuous"),
+            replicas=data.get("replicas", 1),
+            router=data.get("router", "round-robin"),
         )
 
 

@@ -15,6 +15,7 @@ registered by third-party code are addressable here without changes.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import warnings
 
@@ -23,9 +24,11 @@ from repro.api import (
     DeploymentSpec,
     EndpointOverloaded,
     WorkloadSpec,
+    load_experiment,
     run_experiment,
     simulate,
 )
+from repro.cluster.router import list_routers
 from repro.core.requirements import (
     SearchRequest,
     ServiceLevelObjectives,
@@ -120,13 +123,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    deployment = DeploymentSpec(
-        chip=args.chip,
-        model=args.model,
-        num_devices=args.devices,
-        max_batch=args.max_batch,
-        batching=args.policy,
-    )
+    try:
+        deployment = DeploymentSpec(
+            chip=args.chip,
+            model=args.model,
+            num_devices=args.devices,
+            max_batch=args.max_batch,
+            batching=args.policy,
+            replicas=args.replicas,
+            router=args.router,
+        )
+    except ValueError as exc:
+        print(f"error: {_exc_message(exc)}", file=sys.stderr)
+        return 2
     workload = WorkloadSpec(
         trace=args.trace,
         rate_per_s=args.rate,
@@ -147,7 +156,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
-        report = run_experiment(args.experiment)
+        experiment = load_experiment(args.experiment)
+        if args.replicas is not None or args.router is not None:
+            # command-line overrides for quick cluster what-ifs without
+            # editing the experiment file
+            overrides = {}
+            if args.replicas is not None:
+                overrides["replicas"] = args.replicas
+            if args.router is not None:
+                overrides["router"] = args.router
+            experiment = dataclasses.replace(
+                experiment,
+                deployment=dataclasses.replace(experiment.deployment,
+                                               **overrides))
+        report = run_experiment(experiment)
     except EndpointOverloaded as exc:
         print(f"no requests finished — {exc}")
         return 1
@@ -208,10 +230,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=7,
                        help="RNG seed for arrivals and token lengths "
                             "(reruns with the same seed are bit-identical)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="number of replica endpoints behind the "
+                            "router (>1 simulates a cluster)")
+    serve.add_argument("--router", default="round-robin",
+                       choices=list_routers(),
+                       help="router policy for multi-replica serving")
 
     run = sub.add_parser(
         "run", help="execute a declarative experiment.json file")
     run.add_argument("experiment", help="path to an experiment JSON file")
+    run.add_argument("--replicas", type=int, default=None,
+                     help="override the experiment's replica count")
+    run.add_argument("--router", default=None, choices=list_routers(),
+                     help="override the experiment's router policy")
     return parser
 
 

@@ -1,0 +1,51 @@
+"""``repro.cluster`` — multi-replica serving behind a request router.
+
+The serving stack (:mod:`repro.serving`) simulates *one* endpoint; this
+package scales it to a fleet, the way Ray Serve fronts N replicas of an
+LLM deployment with a router.  A :class:`ClusterEngine` advances N
+per-replica continuous-batching endpoints under one simulated clock,
+consults a named :class:`RouterPolicy` (``round-robin``,
+``least-outstanding``, ``session-affinity``, ``slo-aware`` — see
+:mod:`repro.cluster.router`) at every arrival, and aggregates the
+per-replica outcomes into fleet QoS plus load-imbalance stats
+(:mod:`repro.cluster.report`).
+
+The declarative API reaches it via ``DeploymentSpec(replicas=4,
+router="least-outstanding")``; :func:`repro.api.simulate` dispatches to
+:func:`repro.api.simulate_cluster` automatically when ``replicas > 1``.
+"""
+
+from repro.cluster.engine import ClusterEngine, ReplicaSim
+from repro.cluster.report import (
+    ClusterResult,
+    LoadImbalanceStats,
+    aggregate_cluster,
+    load_imbalance,
+    merge_results,
+)
+from repro.cluster.router import (
+    ROUTER_REGISTRY,
+    ReplicaSnapshot,
+    RouterPolicy,
+    get_router,
+    list_routers,
+    make_router,
+    register_router,
+)
+
+__all__ = [
+    "ClusterEngine",
+    "ReplicaSim",
+    "ClusterResult",
+    "LoadImbalanceStats",
+    "aggregate_cluster",
+    "load_imbalance",
+    "merge_results",
+    "ROUTER_REGISTRY",
+    "ReplicaSnapshot",
+    "RouterPolicy",
+    "get_router",
+    "list_routers",
+    "make_router",
+    "register_router",
+]

@@ -1,0 +1,194 @@
+"""Multi-replica cluster simulation under one clock.
+
+A :class:`ClusterEngine` is the simulated analogue of a Ray-Serve-style
+LLM deployment: N identical replicas (each a continuous-batching
+endpoint with its own scheduler and device group) behind a router.  The
+global event order is the arrival stream; before each request is routed,
+every replica is advanced to the arrival instant so the router's load
+snapshot is current.  Replica iterations are indivisible, exactly as in
+:class:`repro.serving.engine.ServingEngine`, so a single-replica cluster
+reproduces the single-engine results.
+
+Per-iteration timing is delegated to each replica's ``ServingEngine`` —
+one source of truth for the HDA overlap model and device estimators.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.report import ClusterResult, aggregate_cluster
+from repro.cluster.router import ReplicaSnapshot, RouterPolicy, make_router
+from repro.models.config import ModelConfig
+from repro.perf.baselines import DeviceModel
+from repro.serving.engine import ServingEngine, SimulationResult
+from repro.serving.request import Request
+from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
+
+
+class ReplicaSim:
+    """One steppable replica: a continuous-batching endpoint with a
+    local clock that the cluster advances between arrivals."""
+
+    def __init__(self, replica_id: int, engine: ServingEngine) -> None:
+        self.replica_id = replica_id
+        self.engine = engine
+        self.scheduler = ContinuousBatchingScheduler(engine.model,
+                                                     engine.limits)
+        self.now = 0.0
+        self.pending: list[Request] = []   # routed here, not yet enqueued
+        self.finished: list[Request] = []
+        self.assigned_requests = 0
+        self.assigned_tokens = 0
+        self._outstanding_tokens = 0
+        self.iterations = 0
+        self.decode_steps = 0
+        self.busy = 0.0
+        self.decode_time = 0.0
+        self.prefill_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Router-facing state                                                  #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def outstanding_requests(self) -> int:
+        return self.assigned_requests - len(self.finished)
+
+    @property
+    def outstanding_tokens(self) -> int:
+        return self._outstanding_tokens
+
+    def snapshot(self) -> ReplicaSnapshot:
+        return ReplicaSnapshot(
+            replica_id=self.replica_id,
+            clock_s=self.now,
+            outstanding_requests=self.outstanding_requests,
+            outstanding_tokens=self._outstanding_tokens,
+            queued_requests=len(self.pending) + len(self.scheduler.queued),
+            active_requests=self.scheduler.active_count,
+            assigned_requests=self.assigned_requests,
+            assigned_tokens=self.assigned_tokens,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Simulation                                                           #
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request) -> None:
+        """Route ``request`` here; it arrives when the clock reaches it.
+
+        The cluster routes in global arrival order, so ``pending`` stays
+        sorted by arrival time without re-sorting.
+        """
+        self.pending.append(request)
+        self.assigned_requests += 1
+        tokens = request.input_tokens + request.output_tokens
+        self.assigned_tokens += tokens
+        self._outstanding_tokens += tokens
+
+    def advance_to(self, target: float, horizon: float) -> None:
+        """Run iterations until the clock reaches ``min(target, horizon)``
+        or the replica goes idle with nothing arriving before then.
+
+        Mirrors ``ServingEngine.run``: an iteration starts whenever the
+        clock is still below the limit, even if it ends past it, and an
+        idle replica's clock stays at its last event (never inflated to
+        the horizon).
+        """
+        limit = min(target, horizon)
+        while self.now < limit:
+            while self.pending and self.pending[0].arrival_time <= self.now:
+                self.scheduler.enqueue(self.pending.pop(0))
+            plan = self.scheduler.plan_iteration()
+            if not plan.has_work:
+                if not self.pending:
+                    break
+                # idle-jump to the next routed arrival, clamped to the
+                # limit — the same rule as ServingEngine.run, so a
+                # post-horizon arrival leaves the clock at the horizon,
+                # never past it
+                self.now = min(self.pending[0].arrival_time, limit)
+                continue
+            step, decode_part, prefill_part = \
+                self.engine._iteration_seconds(plan)
+            self.now += step
+            self.busy += step
+            self.decode_time += decode_part
+            self.prefill_time += prefill_part
+            self.iterations += 1
+            if plan.decode_requests:
+                self.decode_steps += 1
+                for request in plan.decode_requests:
+                    request.record_token(self.now)
+                    if request.done:
+                        self.finished.append(request)
+                        self._outstanding_tokens -= (
+                            request.input_tokens + request.output_tokens)
+            self.scheduler.complete_iteration(plan)
+
+    def result(self) -> SimulationResult:
+        """This replica's outcome in the single-engine result shape."""
+        unfinished = (self.scheduler.prefilling + self.scheduler.decoding
+                      + self.scheduler.queued + self.pending)
+        return SimulationResult(
+            finished=list(self.finished),
+            unfinished=unfinished,
+            total_time_s=self.now,
+            iterations=self.iterations,
+            decode_steps=self.decode_steps,
+            busy_time_s=self.busy,
+            decode_time_s=self.decode_time,
+            prefill_time_s=self.prefill_time,
+        )
+
+
+class ClusterEngine:
+    """N replicas of one endpoint behind a router, one simulated clock.
+
+    ``run`` is reusable: every call builds fresh replicas and (for
+    routers given by name) a fresh router instance, so two runs on one
+    engine never share clocks, schedulers or session pins.  A router
+    passed as an *instance* is reused as-is — the caller owns its state.
+    """
+
+    def __init__(
+        self,
+        device: DeviceModel,
+        model: ModelConfig,
+        limits: SchedulerLimits,
+        num_devices: int = 1,
+        replicas: int = 2,
+        router: str | RouterPolicy = "round-robin",
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.device = device
+        self.model = model
+        self.limits = limits
+        self.num_devices = num_devices
+        self.replicas = replicas
+        self.router = router
+        make_router(router)  # fail on unknown names at construction
+
+    def run(self, requests: list[Request],
+            max_sim_seconds: float = 600.0) -> ClusterResult:
+        """Route the arrival stream, drain every replica, aggregate."""
+        fleet = [
+            ReplicaSim(i, ServingEngine(self.device, self.model,
+                                        self.limits, self.num_devices))
+            for i in range(self.replicas)
+        ]
+        router = make_router(self.router)
+        for request in sorted(requests, key=lambda r: r.arrival_time):
+            arrival = request.arrival_time
+            for replica in fleet:
+                replica.advance_to(arrival, max_sim_seconds)
+            snapshots = [replica.snapshot() for replica in fleet]
+            index = router.route(request, snapshots)
+            if not 0 <= index < len(fleet):
+                raise ValueError(
+                    f"router returned replica index {index}, "
+                    f"cluster has {len(fleet)} replicas")
+            fleet[index].submit(request)
+        for replica in fleet:
+            replica.advance_to(float("inf"), max_sim_seconds)
+        return aggregate_cluster([r.result() for r in fleet])

@@ -1,0 +1,128 @@
+"""Cluster-level aggregation: merge per-replica results into fleet QoS.
+
+A cluster run produces one :class:`~repro.serving.engine.SimulationResult`
+per replica; users care about the *fleet*: the QoS every request saw
+(regardless of which replica served it), the aggregate throughput, and
+how evenly the router spread the load.  This module merges the replica
+results into a single ``SimulationResult`` (wall time = the slowest
+replica, counters summed), computes the cluster :class:`QoSReport`, and
+derives :class:`LoadImbalanceStats` — the Fig. 13/16-style scalability
+numbers extended from one device group to a fleet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.serving.engine import SimulationResult
+from repro.serving.qos import QoSReport, compute_qos
+
+
+@dataclass(frozen=True)
+class LoadImbalanceStats:
+    """How evenly the router spread work across replicas."""
+
+    requests_per_replica: tuple[int, ...]     # assigned (finished + not)
+    tokens_per_replica: tuple[int, ...]       # assigned input+output tokens
+    busy_fraction_per_replica: tuple[float, ...]
+    request_imbalance: float                  # max/mean assigned requests
+    token_imbalance: float                    # max/mean assigned tokens
+    token_cv: float                           # coeff. of variation of tokens
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.requests_per_replica)
+
+
+def _max_over_mean(values: Sequence[float]) -> float:
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 1.0
+    return max(values) / mean
+
+
+def _coefficient_of_variation(values: Sequence[float]) -> float:
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / mean
+
+
+def load_imbalance(replica_results: Sequence[SimulationResult]
+                   ) -> LoadImbalanceStats:
+    """Per-replica load spread of one cluster run."""
+    if not replica_results:
+        raise ValueError("need at least one replica result")
+    # one common denominator — the fleet wall clock — so replica busy
+    # fractions are comparable (an early-idle replica's own clock stops
+    # at its last event and would overstate its utilization)
+    wall = max(r.total_time_s for r in replica_results)
+    requests, tokens, busy = [], [], []
+    for result in replica_results:
+        assigned = result.finished + result.unfinished
+        requests.append(len(assigned))
+        tokens.append(sum(r.input_tokens + r.output_tokens
+                          for r in assigned))
+        busy.append(result.busy_time_s / wall if wall > 0 else 0.0)
+    return LoadImbalanceStats(
+        requests_per_replica=tuple(requests),
+        tokens_per_replica=tuple(tokens),
+        busy_fraction_per_replica=tuple(busy),
+        request_imbalance=_max_over_mean(requests),
+        token_imbalance=_max_over_mean(tokens),
+        token_cv=_coefficient_of_variation(tokens),
+    )
+
+
+def merge_results(replica_results: Sequence[SimulationResult]
+                  ) -> SimulationResult:
+    """One fleet-level ``SimulationResult``.
+
+    Wall time is the slowest replica's clock (replicas run in parallel);
+    iteration counters and busy/decode/prefill seconds are summed, so
+    fleet busy time can exceed wall time by up to the replica count.
+    """
+    if not replica_results:
+        raise ValueError("need at least one replica result")
+    return SimulationResult(
+        finished=[r for result in replica_results for r in result.finished],
+        unfinished=[r for result in replica_results
+                    for r in result.unfinished],
+        total_time_s=max(r.total_time_s for r in replica_results),
+        iterations=sum(r.iterations for r in replica_results),
+        decode_steps=sum(r.decode_steps for r in replica_results),
+        busy_time_s=sum(r.busy_time_s for r in replica_results),
+        decode_time_s=sum(r.decode_time_s for r in replica_results),
+        prefill_time_s=sum(r.prefill_time_s for r in replica_results),
+    )
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one cluster simulation."""
+
+    replica_results: tuple[SimulationResult, ...]
+    merged: SimulationResult
+    load: LoadImbalanceStats
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replica_results)
+
+    def qos(self) -> QoSReport:
+        """Fleet QoS over every finished request, against the fleet wall
+        time — the cluster analogue of the single-endpoint report."""
+        return compute_qos(self.merged.finished, self.merged.total_time_s)
+
+
+def aggregate_cluster(replica_results: Sequence[SimulationResult]
+                      ) -> ClusterResult:
+    """Bundle per-replica results with their merged view and load stats."""
+    return ClusterResult(
+        replica_results=tuple(replica_results),
+        merged=merge_results(replica_results),
+        load=load_imbalance(replica_results),
+    )

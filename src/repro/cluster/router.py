@@ -1,0 +1,176 @@
+"""Router policies: which replica a newly arrived request joins.
+
+The cluster front-end sees every request before any replica does; a
+*router policy* picks the replica from a per-replica load snapshot taken
+at the request's arrival instant.  Policies follow the repo's registry
+idiom (:class:`repro.registry.Registry`): a decorator registers a
+zero-arg factory under a string name, and experiment JSON / the CLI
+address it as ``DeploymentSpec.router``::
+
+    from repro.cluster.router import register_router
+
+    @register_router("my-policy")
+    class MyRouter:
+        def route(self, request, replicas):  # -> replica index
+            ...
+
+Built-ins:
+
+* ``round-robin``       — cycle through replicas in arrival order;
+* ``least-outstanding`` — join the shortest queue (JSQ): fewest requests
+  submitted-but-unfinished, ties to the lowest replica id;
+* ``session-affinity``  — pin each ``Request.session_id`` to the replica
+  its first turn joined (KV-prefix locality); sessionless requests fall
+  back to least-outstanding;
+* ``slo-aware``         — short prompts (TTFT-critical) join the
+  shortest queue by *request count*; long prompts join the replica with
+  the least outstanding *token mass*, spreading heavy prefills by work
+  rather than arrival order.
+
+All built-ins are deterministic: the same request stream always produces
+the same assignment, so cluster experiments replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.registry import Registry
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """One replica's load as the router sees it at an arrival instant."""
+
+    replica_id: int
+    clock_s: float
+    outstanding_requests: int   # submitted to the replica, not finished
+    outstanding_tokens: int     # input+output tokens of those requests
+    queued_requests: int        # waiting for admission on the replica
+    active_requests: int        # prefilling + decoding right now
+    assigned_requests: int      # everything ever routed here
+    assigned_tokens: int
+
+
+class RouterPolicy(Protocol):
+    """A (possibly stateful) routing decision function."""
+
+    def route(self, request: Request,
+              replicas: Sequence[ReplicaSnapshot]) -> int:
+        """Return the index of the replica ``request`` joins."""
+        ...
+
+
+ROUTER_REGISTRY = Registry("router policy")
+
+
+def register_router(name: str) -> Callable:
+    """Decorator: register a zero-arg :class:`RouterPolicy` factory."""
+
+    def _decorate(factory: Callable[[], RouterPolicy]):
+        ROUTER_REGISTRY.register(name, factory)
+        return factory
+
+    return _decorate
+
+
+def get_router(name: str) -> Callable[[], RouterPolicy]:
+    """Look up a router factory by name."""
+    return ROUTER_REGISTRY.get(name)
+
+
+def make_router(router: str | RouterPolicy) -> RouterPolicy:
+    """Resolve a name to a fresh policy instance; pass instances through."""
+    if isinstance(router, str):
+        return get_router(router)()
+    return router
+
+
+def list_routers() -> list[str]:
+    """Registered router-policy names, sorted."""
+    return ROUTER_REGISTRY.names()
+
+
+def _least_outstanding(replicas: Sequence[ReplicaSnapshot]) -> int:
+    return min(replicas,
+               key=lambda s: (s.outstanding_requests, s.replica_id)
+               ).replica_id
+
+
+def _least_outstanding_tokens(replicas: Sequence[ReplicaSnapshot]) -> int:
+    return min(replicas,
+               key=lambda s: (s.outstanding_tokens, s.replica_id)
+               ).replica_id
+
+
+@register_router("round-robin")
+class RoundRobinRouter:
+    """Cycle through replicas in arrival order (load-blind)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, request: Request,
+              replicas: Sequence[ReplicaSnapshot]) -> int:
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+@register_router("least-outstanding")
+class LeastOutstandingRouter:
+    """Join the shortest queue: fewest submitted-but-unfinished requests."""
+
+    def route(self, request: Request,
+              replicas: Sequence[ReplicaSnapshot]) -> int:
+        return _least_outstanding(replicas)
+
+
+@register_router("session-affinity")
+class SessionAffinityRouter:
+    """Sticky sessions: every turn of a conversation hits one replica.
+
+    The first turn of a session joins the shortest queue; later turns
+    follow it regardless of load, modeling the KV-prefix locality a real
+    deployment buys with consistent hashing.  Requests without a
+    ``session_id`` degrade to least-outstanding.
+    """
+
+    def __init__(self) -> None:
+        self._home: dict[int, int] = {}
+
+    def route(self, request: Request,
+              replicas: Sequence[ReplicaSnapshot]) -> int:
+        if request.session_id is None:
+            return _least_outstanding(replicas)
+        home = self._home.get(request.session_id)
+        if home is None or home >= len(replicas):
+            home = _least_outstanding(replicas)
+            self._home[request.session_id] = home
+        return home
+
+
+@register_router("slo-aware")
+class SloAwareRouter:
+    """TTFT-aware split routing.
+
+    Short prompts are latency-critical (their TTFT is dominated by
+    queueing, not prefill), so they join the replica with the fewest
+    outstanding *requests*.  Long prompts bring large prefill work, so
+    they join the replica with the least outstanding *token mass* —
+    balancing by work keeps a run of heavy prompts from stacking up on
+    one replica while short interactive traffic queues behind them.
+    """
+
+    def __init__(self, short_input_tokens: int = 256) -> None:
+        if short_input_tokens < 1:
+            raise ValueError("short_input_tokens must be >= 1")
+        self.short_input_tokens = short_input_tokens
+
+    def route(self, request: Request,
+              replicas: Sequence[ReplicaSnapshot]) -> int:
+        if request.input_tokens <= self.short_input_tokens:
+            return _least_outstanding(replicas)
+        return _least_outstanding_tokens(replicas)

@@ -6,11 +6,18 @@ continuous batching with chunked prefill, and QoS accounting (TTFT, TBT,
 E2E latency, throughput).  :mod:`repro.serving.capacity` binary-searches
 the maximum sustainable request rate under an SLO — the Fig. 16
 experiment.
+
+This package simulates *one* endpoint; :mod:`repro.cluster` scales it to
+N replicas behind a request router (``DeploymentSpec(replicas=...,
+router=...)`` in the declarative API).
 """
 
 from repro.serving.request import Request, RequestState
 from repro.serving.dataset import ChatTraceConfig, ULTRACHAT_LIKE, sample_trace
-from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.generator import (
+    OnOffRequestGenerator,
+    PoissonRequestGenerator,
+)
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
 from repro.serving.engine import ServingEngine, SimulationResult
 from repro.serving.qos import QoSReport, compute_qos
@@ -58,6 +65,7 @@ __all__ = [
     "ChatTraceConfig",
     "ULTRACHAT_LIKE",
     "sample_trace",
+    "OnOffRequestGenerator",
     "PoissonRequestGenerator",
     "ContinuousBatchingScheduler",
     "SchedulerLimits",

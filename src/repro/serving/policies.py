@@ -75,9 +75,12 @@ def _simulate_no_batching(device: DeviceModel, model: ModelConfig,
     decode_time = 0.0
     prefill_time = 0.0
     for request in sorted(requests, key=lambda r: r.arrival_time):
-        now = max(now, request.arrival_time)
-        if now > max_sim_seconds:
+        start = max(now, request.arrival_time)
+        if start >= max_sim_seconds:
+            # service must start before the horizon; a late arrival must
+            # not inflate total_time_s past max_sim_seconds
             break
+        now = start
         prefill = device.prefill_time(model, 1, request.input_tokens,
                                       num_devices).seconds
         now += prefill
@@ -93,7 +96,10 @@ def _simulate_no_batching(device: DeviceModel, model: ModelConfig,
             iterations += 1
             request.record_token(now)
         finished.append(request)
-    unfinished = [r for r in requests if r not in finished]
+    # Request equality is by identity (eq=False), so a set gives O(1)
+    # membership without aliasing two same-shaped requests
+    done = set(finished)
+    unfinished = [r for r in requests if r not in done]
     return SimulationResult(
         finished=finished, unfinished=unfinished, total_time_s=now,
         iterations=iterations, decode_steps=iterations,
@@ -110,15 +116,21 @@ def _simulate_static(device: DeviceModel, model: ModelConfig,
         raise ValueError("batch_size must be >= 1")
     now = 0.0
     finished: list[Request] = []
+    unfinished: list[Request] = []
     iterations = 0
     busy = 0.0
     decode_time = 0.0
     prefill_time = 0.0
     pending = sorted(requests, key=lambda r: r.arrival_time)
-    while pending and now <= max_sim_seconds:
+    while pending and now < max_sim_seconds:
         batch = pending[:batch_size]
+        start = max(now, max(r.arrival_time for r in batch))
+        if start >= max_sim_seconds:
+            # the batch only forms after the horizon (late arrivals must
+            # not inflate total_time_s past max_sim_seconds)
+            break
         pending = pending[batch_size:]
-        now = max(now, max(r.arrival_time for r in batch))
+        now = start
         longest_input = max(r.input_tokens for r in batch)
         prefill = device.prefill_time(model, len(batch), longest_input,
                                       num_devices).seconds
@@ -129,6 +141,10 @@ def _simulate_static(device: DeviceModel, model: ModelConfig,
             request.prefilled_tokens = request.input_tokens
         longest_output = max(r.output_tokens for r in batch)
         for _ in range(longest_output):
+            # mirror the continuous engine's horizon rule: a decode step
+            # only starts before max_sim_seconds (it may end past it)
+            if now >= max_sim_seconds:
+                break
             contexts = [r.context_len for r in batch]
             mean_context = max(1, sum(contexts) // len(contexts))
             # the whole batch occupies the device even after some members
@@ -142,9 +158,12 @@ def _simulate_static(device: DeviceModel, model: ModelConfig,
             for request in batch:
                 if not request.done:
                     request.record_token(now)
-        finished.extend(batch)
+        for request in batch:
+            # members cut off by the horizon carry no finish stamp and
+            # must not be reported as finished
+            (finished if request.done else unfinished).append(request)
     return SimulationResult(
-        finished=finished, unfinished=pending, total_time_s=now,
+        finished=finished, unfinished=unfinished + pending, total_time_s=now,
         iterations=iterations, decode_steps=iterations,
         busy_time_s=busy, decode_time_s=decode_time,
         prefill_time_s=prefill_time,

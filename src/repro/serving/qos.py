@@ -7,6 +7,7 @@ token and request throughput a vendor cares about.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,7 +35,13 @@ class QoSReport:
 
     @property
     def mean_tokens_per_s_per_request(self) -> float:
-        """The paper's Fig. 15/17 "TBT (token/sec)" axis."""
+        """The paper's Fig. 15/17 "TBT (token/sec)" axis.
+
+        ``nan`` when TBT was unmeasurable (no request emitted a second
+        token) — an unmeasured rate must not masquerade as infinite.
+        """
+        if math.isnan(self.tbt_mean_s):
+            return float("nan")
         if self.tbt_mean_s <= 0:
             return float("inf")
         return 1.0 / self.tbt_mean_s
@@ -60,7 +67,10 @@ def compute_qos(finished: list[Request], wall_time_s: float) -> QoSReport:
     ttft = np.array([r.ttft for r in finished])
     tbt = np.array([r.tbt for r in finished if len(r.token_times) >= 2])
     if tbt.size == 0:
-        tbt = np.array([0.0])
+        # no request emitted >= 2 tokens: TBT is unmeasured, not zero —
+        # nan keeps meets_tbt_slo() False instead of reporting a perfect
+        # inter-token latency nobody observed
+        tbt = np.array([float("nan")])
     e2e = np.array([r.e2e_latency for r in finished])
     tokens = sum(r.generated_tokens for r in finished)
     return QoSReport(

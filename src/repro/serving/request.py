@@ -18,9 +18,21 @@ class RequestState(enum.Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(eq=False)
 class Request:
-    """One user request flowing through the simulator."""
+    """One user request flowing through the simulator.
+
+    Requests are *mutable identities*, not values: two requests with the
+    same lengths and timestamps are still distinct pieces of in-flight
+    work, so equality and hashing are by object identity (``eq=False``).
+    That lets engines keep requests in sets and membership-test them in
+    O(1) without two same-shaped requests aliasing each other.
+
+    ``session_id`` links the turns of one multi-turn conversation; the
+    cluster's session-affinity router uses it to pin a conversation (and
+    its reusable KV prefix) to one replica.  Single-turn streams leave it
+    ``None``.
+    """
 
     request_id: int
     arrival_time: float
@@ -32,6 +44,7 @@ class Request:
     first_token_time: float | None = None
     finish_time: float | None = None
     token_times: list = field(default_factory=list)
+    session_id: int | None = None
 
     def __post_init__(self) -> None:
         if self.input_tokens < 1 or self.output_tokens < 1:

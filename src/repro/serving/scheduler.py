@@ -60,6 +60,8 @@ class ContinuousBatchingScheduler:
         self.queued: list[Request] = []
         self.prefilling: list[Request] = []
         self.decoding: list[Request] = []
+        self._kv_per_token = kv_bytes_per_token(model)
+        self._reserved_kv_bytes = 0.0
 
     # ------------------------------------------------------------------ #
     # Bookkeeping                                                          #
@@ -69,15 +71,17 @@ class ContinuousBatchingScheduler:
     def active_count(self) -> int:
         return len(self.prefilling) + len(self.decoding)
 
+    def _request_kv_bytes(self, request: Request) -> float:
+        return (request.input_tokens + request.output_tokens) \
+            * self._kv_per_token
+
     def kv_bytes_in_use(self) -> float:
         """Reserved KV bytes: each active request holds its full final
         context (prompt + all output tokens) so admission never has to
-        evict mid-generation."""
-        per_token = kv_bytes_per_token(self.model)
-        active = self.prefilling + self.decoding
-        return sum(
-            (r.input_tokens + r.output_tokens) * per_token for r in active
-        )
+        evict mid-generation.  Maintained incrementally on admit/finish —
+        recomputing the sum per admission candidate made every engine
+        iteration O(active^2)."""
+        return self._reserved_kv_bytes
 
     def enqueue(self, request: Request) -> None:
         if request.state != RequestState.QUEUED:
@@ -89,16 +93,16 @@ class ContinuousBatchingScheduler:
     # ------------------------------------------------------------------ #
 
     def _admit(self) -> None:
-        per_token = kv_bytes_per_token(self.model)
         while self.queued and self.active_count < self.limits.max_batch:
             candidate = self.queued[0]
-            projected = self.kv_bytes_in_use() + per_token * (
-                candidate.input_tokens + candidate.output_tokens)
+            projected = self._reserved_kv_bytes \
+                + self._request_kv_bytes(candidate)
             if projected > self.limits.kv_budget_bytes:
                 break
             self.queued.pop(0)
             candidate.state = RequestState.PREFILLING
             self.prefilling.append(candidate)
+            self._reserved_kv_bytes = projected
 
     def plan_iteration(self) -> IterationPlan:
         """Admit, pick the prefill chunk and the decode batch."""
@@ -120,5 +124,11 @@ class ContinuousBatchingScheduler:
                 self.prefilling.remove(request)
                 request.state = RequestState.DECODING
                 self.decoding.append(request)
+        for request in self.decoding:
+            if request.state == RequestState.FINISHED:
+                self._reserved_kv_bytes -= self._request_kv_bytes(request)
         self.decoding = [r for r in self.decoding
                          if r.state != RequestState.FINISHED]
+        if not self.prefilling and not self.decoding:
+            # clamp float drift whenever the endpoint fully drains
+            self._reserved_kv_bytes = 0.0

@@ -107,6 +107,7 @@ class MultiTurnSessionGenerator:
                 arrival_time=turn.arrival_time,
                 input_tokens=turn.input_tokens,
                 output_tokens=turn.output_tokens,
+                session_id=turn.session_id,
             )
             for i, turn in enumerate(turns)
         ]

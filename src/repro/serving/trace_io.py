@@ -16,15 +16,17 @@ from repro.serving.request import Request
 
 def save_requests(requests: list, path) -> None:
     """Write a request stream (inputs only) as JSON."""
-    payload = [
-        {
+    payload = []
+    for r in requests:
+        entry = {
             "request_id": r.request_id,
             "arrival_time": r.arrival_time,
             "input_tokens": r.input_tokens,
             "output_tokens": r.output_tokens,
         }
-        for r in requests
-    ]
+        if r.session_id is not None:
+            entry["session_id"] = r.session_id
+        payload.append(entry)
     pathlib.Path(path).write_text(json.dumps(payload, indent=1))
 
 
@@ -36,11 +38,13 @@ def load_requests(path) -> list:
     requests = []
     for entry in payload:
         try:
+            session = entry.get("session_id")
             requests.append(Request(
                 request_id=int(entry["request_id"]),
                 arrival_time=float(entry["arrival_time"]),
                 input_tokens=int(entry["input_tokens"]),
                 output_tokens=int(entry["output_tokens"]),
+                session_id=None if session is None else int(session),
             ))
         except KeyError as missing:
             raise ValueError(f"{path}: request entry missing {missing}")

@@ -1,0 +1,365 @@
+"""Tests for the multi-replica cluster layer (repro.cluster)."""
+
+import json
+import math
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ClusterReport,
+    DeploymentSpec,
+    Experiment,
+    ServingReport,
+    WorkloadSpec,
+    run_experiment,
+    simulate,
+    simulate_cluster,
+)
+from repro.cluster import (
+    ClusterEngine,
+    ReplicaSnapshot,
+    list_routers,
+    make_router,
+)
+from repro.core.scheduling import device_model_for
+from repro.hardware.registry import get_chip
+from repro.models.zoo import get_model
+from repro.serving.dataset import ChatTraceConfig, ULTRACHAT_LIKE
+from repro.serving.engine import ServingEngine
+from repro.serving.generator import (
+    OnOffRequestGenerator,
+    PoissonRequestGenerator,
+)
+from repro.serving.qos import compute_qos
+from repro.serving.request import Request
+from repro.serving.scheduler import SchedulerLimits
+from repro.serving.sessions import MultiTurnSessionGenerator, SessionConfig
+
+EXPERIMENTS = pathlib.Path(__file__).parent.parent / "experiments"
+
+
+@pytest.fixture(scope="module")
+def llama3():
+    return get_model("llama3-8b")
+
+
+@pytest.fixture(scope="module")
+def ador_device():
+    return device_model_for(get_chip("ador"))
+
+
+def poisson_requests(rate, count, seed=7, trace=ULTRACHAT_LIKE):
+    rng = np.random.default_rng(seed)
+    return PoissonRequestGenerator(trace, rate, rng).generate(count)
+
+
+def snapshots(outstanding, tokens=None):
+    tokens = tokens if tokens is not None else [o * 100 for o in outstanding]
+    return [
+        ReplicaSnapshot(replica_id=i, clock_s=0.0,
+                        outstanding_requests=o, outstanding_tokens=t,
+                        queued_requests=0, active_requests=o,
+                        assigned_requests=o, assigned_tokens=t)
+        for i, (o, t) in enumerate(zip(outstanding, tokens))
+    ]
+
+
+def request(i=0, session=None, input_tokens=64, output_tokens=16,
+            arrival=0.0):
+    return Request(request_id=i, arrival_time=arrival,
+                   input_tokens=input_tokens, output_tokens=output_tokens,
+                   session_id=session)
+
+
+class TestRouterPolicies:
+    def test_builtins_registered(self):
+        assert {"round-robin", "least-outstanding", "session-affinity",
+                "slo-aware"} <= set(list_routers())
+
+    def test_round_robin_cycles(self):
+        router = make_router("round-robin")
+        picks = [router.route(request(i), snapshots([0, 0, 0]))
+                 for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_joins_shortest_queue(self):
+        router = make_router("least-outstanding")
+        assert router.route(request(), snapshots([3, 1, 2])) == 1
+
+    def test_least_outstanding_ties_break_deterministically(self):
+        router = make_router("least-outstanding")
+        assert router.route(request(), snapshots([2, 2, 2])) == 0
+
+    def test_session_affinity_sticks(self):
+        router = make_router("session-affinity")
+        first = router.route(request(0, session=42), snapshots([5, 0, 0]))
+        assert first == 1  # first turn joins the shortest queue
+        # later turns follow the session even when load has shifted
+        assert router.route(request(1, session=42),
+                            snapshots([0, 9, 0])) == 1
+
+    def test_session_affinity_without_session_uses_load(self):
+        router = make_router("session-affinity")
+        assert router.route(request(session=None), snapshots([4, 0, 1])) == 1
+
+    def test_slo_aware_splits_by_prompt_length(self):
+        router = make_router("slo-aware")
+        short = request(input_tokens=32)
+        long = request(input_tokens=2048)
+        # short prompt: fewest outstanding requests (replica 1)
+        # long prompt: least outstanding token mass (replica 0)
+        snaps = snapshots([2, 1, 3], tokens=[50, 5000, 9000])
+        assert router.route(short, snaps) == 1
+        assert router.route(long, snaps) == 0
+
+    def test_unknown_router_fails_loudly(self):
+        with pytest.raises(KeyError, match="router policy"):
+            make_router("no-such-router")
+
+
+class TestClusterEngine:
+    def test_single_replica_matches_serving_engine(self, ador_device,
+                                                   llama3):
+        limits = SchedulerLimits(max_batch=256, prefill_chunk_tokens=512)
+        single = ServingEngine(ador_device, llama3, limits).run(
+            poisson_requests(10.0, 80), max_sim_seconds=600.0)
+        cluster = ClusterEngine(ador_device, llama3, limits,
+                                replicas=1).run(
+            poisson_requests(10.0, 80), max_sim_seconds=600.0)
+        assert len(cluster.merged.finished) == len(single.finished)
+        assert cluster.merged.total_time_s \
+            == pytest.approx(single.total_time_s)
+        assert cluster.merged.iterations == single.iterations
+        single_qos = compute_qos(single.finished, single.total_time_s)
+        cluster_qos = cluster.qos()
+        assert cluster_qos.ttft_p95_s == pytest.approx(single_qos.ttft_p95_s)
+
+    def test_deterministic_across_runs(self, ador_device, llama3):
+        limits = SchedulerLimits(max_batch=64)
+
+        def run_once():
+            engine = ClusterEngine(ador_device, llama3, limits, replicas=3,
+                                   router="least-outstanding")
+            result = engine.run(poisson_requests(30.0, 150),
+                                max_sim_seconds=600.0)
+            qos = result.qos()
+            return (qos.ttft_p95_s, qos.tbt_p95_s,
+                    result.load.requests_per_replica)
+
+        assert run_once() == run_once()
+
+    def test_round_robin_balances_request_counts(self, ador_device, llama3):
+        engine = ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                               replicas=4, router="round-robin")
+        result = engine.run(poisson_requests(40.0, 202),
+                            max_sim_seconds=600.0)
+        counts = result.load.requests_per_replica
+        assert max(counts) - min(counts) <= 1
+        assert sum(counts) == 202
+
+    def test_least_outstanding_keeps_fleet_balanced(self, ador_device,
+                                                    llama3):
+        engine = ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                               replicas=4, router="least-outstanding")
+        result = engine.run(poisson_requests(40.0, 200),
+                            max_sim_seconds=600.0)
+        assert result.load.request_imbalance < 1.25
+
+    def test_session_affinity_is_sticky(self, ador_device, llama3):
+        rng = np.random.default_rng(11)
+        requests = MultiTurnSessionGenerator(
+            SessionConfig(), rng).generate_stream(
+            sessions=60, session_rate_per_s=5.0)
+        engine = ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                               replicas=4, router="session-affinity")
+        result = engine.run(requests, max_sim_seconds=600.0)
+        homes = {}
+        for index, replica in enumerate(result.replica_results):
+            for r in replica.finished + replica.unfinished:
+                homes.setdefault(r.session_id, set()).add(index)
+        assert homes, "expected multi-turn sessions in the stream"
+        assert all(len(replicas) == 1 for replicas in homes.values())
+
+    def test_no_request_lost_or_duplicated(self, ador_device, llama3):
+        requests = poisson_requests(40.0, 120)
+        engine = ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                               replicas=3, router="slo-aware")
+        result = engine.run(requests, max_sim_seconds=600.0)
+        seen = result.merged.finished + result.merged.unfinished
+        assert len(seen) == len(requests)
+        assert len(set(seen)) == len(requests)  # identity-unique
+
+    def test_bad_router_index_rejected(self, ador_device, llama3):
+        class BadRouter:
+            def route(self, request, replicas):
+                return len(replicas)  # out of range
+
+        engine = ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                               replicas=2, router=BadRouter())
+        with pytest.raises(ValueError, match="replica index"):
+            engine.run(poisson_requests(5.0, 4), max_sim_seconds=600.0)
+
+    def test_replicas_must_be_positive(self, ador_device, llama3):
+        with pytest.raises(ValueError):
+            ClusterEngine(ador_device, llama3, SchedulerLimits(), replicas=0)
+
+    def test_unknown_router_rejected_at_construction(self, ador_device,
+                                                     llama3):
+        with pytest.raises(KeyError, match="router policy"):
+            ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                          replicas=2, router="no-such-router")
+
+    def test_run_is_reusable(self, ador_device, llama3):
+        """A second run() must not inherit the first run's clocks,
+        schedulers or finished requests."""
+        engine = ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                               replicas=2, router="session-affinity")
+        first = engine.run(poisson_requests(10.0, 30, seed=1),
+                           max_sim_seconds=600.0)
+        second = engine.run(poisson_requests(10.0, 30, seed=1),
+                            max_sim_seconds=600.0)
+        assert len(second.merged.finished) == len(first.merged.finished) == 30
+        assert second.merged.total_time_s \
+            == pytest.approx(first.merged.total_time_s)
+        assert second.load.requests_per_replica \
+            == first.load.requests_per_replica
+
+    def test_post_horizon_arrival_clamps_like_serving_engine(
+            self, ador_device, llama3):
+        """Parity holds even with an arrival past the horizon: both the
+        single engine and the 1-replica cluster clamp the clock to
+        max_sim_seconds instead of tracking the late arrival."""
+        def stream():
+            return [
+                Request(request_id=0, arrival_time=0.0,
+                        input_tokens=64, output_tokens=4),
+                Request(request_id=1, arrival_time=10_000.0,
+                        input_tokens=64, output_tokens=4),
+            ]
+
+        limits = SchedulerLimits()
+        single = ServingEngine(ador_device, llama3, limits).run(
+            stream(), max_sim_seconds=600.0)
+        cluster = ClusterEngine(ador_device, llama3, limits,
+                                replicas=1).run(stream(),
+                                                max_sim_seconds=600.0)
+        assert single.total_time_s == pytest.approx(600.0)
+        assert cluster.merged.total_time_s \
+            == pytest.approx(single.total_time_s)
+        assert len(cluster.merged.finished) == len(single.finished) == 1
+
+    def test_busy_fractions_share_the_fleet_wall_clock(self, ador_device,
+                                                       llama3):
+        """An early-idle replica must report low utilization, not 1.0
+        against its own stopped clock."""
+        # session 7 pins almost all load to one replica; the other
+        # serves a single early request then idles
+        requests = [request(i, session=7, arrival=0.05 * i,
+                            input_tokens=512, output_tokens=64)
+                    for i in range(30)]
+        requests.append(request(30, session=8, arrival=0.0,
+                                input_tokens=32, output_tokens=2))
+        engine = ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                               replicas=2, router="session-affinity")
+        result = engine.run(requests, max_sim_seconds=600.0)
+        busy = sorted(result.load.busy_fraction_per_replica)
+        assert busy[0] < 0.2    # the idle replica
+        assert busy[1] > 0.8    # the pinned replica
+
+
+class TestClusterParity:
+    def test_4x_cluster_ttft_within_25pct_of_single(self):
+        """The ISSUE acceptance bar: a 4-replica fleet at 4x the rate
+        keeps aggregate p95 TTFT within 25% of one replica at rate r."""
+        rate = 10.0
+        single = simulate(DeploymentSpec(chip="ador"),
+                          WorkloadSpec(rate_per_s=rate, num_requests=100))
+        cluster = simulate(
+            DeploymentSpec(chip="ador", replicas=4, router="round-robin"),
+            WorkloadSpec(rate_per_s=4 * rate, num_requests=400))
+        assert isinstance(cluster, ClusterReport)
+        assert cluster.qos.ttft_p95_s <= 1.25 * single.qos.ttft_p95_s
+        # and the fleet actually serves ~4x the token throughput
+        assert cluster.qos.tokens_per_s > 2.5 * single.qos.tokens_per_s
+
+
+class TestBurstyRouting:
+    def test_least_outstanding_beats_round_robin_p99_on_bursts(
+            self, ador_device, llama3):
+        """Bursty on/off traffic with heavy-tailed outputs and a
+        constrained per-replica batch: join-shortest-queue routes around
+        backlogged replicas, round-robin feeds them blindly."""
+        trace = ChatTraceConfig(name="bursty-heavy", input_median=550.0,
+                                input_sigma=0.8, output_median=180.0,
+                                output_sigma=1.1)
+        limits = SchedulerLimits(max_batch=12, prefill_chunk_tokens=512)
+
+        def mean_p99(router):
+            values = []
+            for seed in (3, 7, 19):
+                rng = np.random.default_rng(seed)
+                requests = OnOffRequestGenerator(
+                    trace, on_rate_per_s=60.0, off_rate_per_s=4.0,
+                    phase_seconds=3.0, rng=rng).generate(400)
+                engine = ClusterEngine(ador_device, llama3, limits,
+                                       replicas=4, router=router)
+                result = engine.run(requests, max_sim_seconds=600.0)
+                values.append(result.qos().ttft_p99_s)
+            return sum(values) / len(values)
+
+        assert mean_p99("least-outstanding") < mean_p99("round-robin")
+
+
+class TestClusterSpecsAndFacade:
+    def test_deployment_spec_cluster_fields_round_trip(self):
+        spec = DeploymentSpec(chip="ador", replicas=4,
+                              router="least-outstanding")
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_old_deployment_dicts_default_to_single_replica(self):
+        spec = DeploymentSpec.from_dict({"chip": "ador"})
+        assert spec.replicas == 1
+        assert spec.router == "round-robin"
+
+    def test_unknown_deployment_field_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown deployment field"):
+            DeploymentSpec.from_dict({"chip": "ador", "replicass": 2})
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeploymentSpec(replicas=0)
+
+    def test_simulate_dispatches_on_replicas(self):
+        workload = WorkloadSpec(rate_per_s=10.0, num_requests=40)
+        single = simulate(DeploymentSpec(chip="ador"), workload)
+        cluster = simulate(DeploymentSpec(chip="ador", replicas=2), workload)
+        assert isinstance(single, ServingReport)
+        assert isinstance(cluster, ClusterReport)
+
+    def test_cluster_requires_continuous_batching(self):
+        with pytest.raises(ValueError, match="continuous"):
+            simulate_cluster(
+                DeploymentSpec(chip="ador", replicas=2, batching="static"),
+                WorkloadSpec(rate_per_s=5.0, num_requests=10))
+
+    def test_cluster_report_summary_mentions_fleet(self):
+        report = simulate(
+            DeploymentSpec(chip="ador", replicas=2,
+                           router="least-outstanding"),
+            WorkloadSpec(rate_per_s=10.0, num_requests=40))
+        text = report.summary()
+        assert "2x" in text
+        assert "least-outstanding" in text
+        assert "requests/replica" in text
+
+    def test_committed_cluster_experiment_runs(self):
+        path = EXPERIMENTS / "cluster_ador_4x.json"
+        data = json.loads(path.read_text())
+        experiment = Experiment.from_dict(data)
+        assert experiment.deployment.replicas == 4
+        report = run_experiment(path)
+        assert isinstance(report, ClusterReport)
+        assert len(report.result.finished) > 0
+        assert not math.isnan(report.qos.ttft_p95_s)

@@ -12,6 +12,7 @@ from repro.serving.dataset import fixed_trace
 from repro.serving.generator import PoissonRequestGenerator
 from repro.serving.policies import BatchingPolicy, simulate_policy
 from repro.serving.qos import compute_qos
+from repro.serving.request import Request
 
 
 @pytest.fixture(scope="module")
@@ -92,3 +93,73 @@ class TestPolicies:
             result, _ = run(policy, device, llama3, requests)
             generated = sum(r.generated_tokens for r in result.finished)
             assert generated == expected, policy
+
+
+class TestHorizonAndIdentityRegressions:
+    def test_no_batching_same_shaped_requests_not_aliased(self, device,
+                                                          llama3):
+        """Regression: value-based Request.__eq__ made `r not in finished`
+        drop every unfinished request that *looked like* a finished one."""
+        twins = [Request(request_id=i, arrival_time=0.0, input_tokens=256,
+                         output_tokens=64) for i in range(4)]
+        # horizon allows roughly one request to be served
+        single = simulate_policy(BatchingPolicy.NO_BATCHING, device, llama3,
+                                 [copy.deepcopy(twins[0])])
+        horizon = single.total_time_s * 1.2
+        result = simulate_policy(BatchingPolicy.NO_BATCHING, device, llama3,
+                                 twins, max_sim_seconds=horizon)
+        assert len(result.finished) + len(result.unfinished) == len(twins)
+        assert len(result.unfinished) == len(twins) - len(result.finished)
+        assert result.unfinished, "expected requests cut off by the horizon"
+
+    def test_static_batch_stops_decoding_at_horizon(self, device, llama3):
+        """Regression: a static batch that started before the horizon
+        decoded arbitrarily far past it and counted every member as
+        finished, even those without a finish stamp."""
+        requests = [Request(request_id=i, arrival_time=0.0,
+                            input_tokens=128, output_tokens=2000)
+                    for i in range(4)]
+        horizon = 5.0
+        result = simulate_policy(BatchingPolicy.STATIC, device, llama3,
+                                 requests, batch_size=4,
+                                 max_sim_seconds=horizon)
+        # decode steps stop at the horizon (the last step may start just
+        # before it and end past it — same rule as the continuous engine)
+        step = device.decode_step_time(llama3, 4, 1128, 1).seconds
+        assert result.total_time_s <= horizon + 2 * step
+        # cut-off members are unfinished, with no finish stamp
+        assert result.finished == []
+        assert len(result.unfinished) == 4
+        for request in result.unfinished:
+            assert request.finish_time is None
+            assert not request.done
+
+    def test_static_members_finishing_before_horizon_still_finish(
+            self, device, llama3):
+        requests = [Request(request_id=i, arrival_time=0.0,
+                            input_tokens=64, output_tokens=4)
+                    for i in range(4)]
+        result = simulate_policy(BatchingPolicy.STATIC, device, llama3,
+                                 requests, batch_size=4,
+                                 max_sim_seconds=3600.0)
+        assert len(result.finished) == 4
+        assert result.unfinished == []
+
+    @pytest.mark.parametrize("policy", [BatchingPolicy.NO_BATCHING,
+                                        BatchingPolicy.STATIC])
+    def test_post_horizon_arrival_never_inflates_wall_time(
+            self, device, llama3, policy):
+        """A request arriving after the horizon must stay unfinished and
+        must not drag total_time_s past max_sim_seconds (the engine fix
+        of PR 1, now enforced for the baseline policies too)."""
+        requests = [
+            Request(request_id=0, arrival_time=0.0,
+                    input_tokens=64, output_tokens=4),
+            Request(request_id=1, arrival_time=10_000.0,
+                    input_tokens=64, output_tokens=4),
+        ]
+        result = simulate_policy(policy, device, llama3, requests,
+                                 batch_size=1, max_sim_seconds=600.0)
+        assert result.total_time_s <= 600.0
+        assert len(result.finished) == 1
+        assert len(result.unfinished) == 1

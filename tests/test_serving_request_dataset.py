@@ -1,5 +1,7 @@
 """Unit tests for requests, traces and the QoS calculator."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -152,3 +154,41 @@ class TestQosReport:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             compute_qos([], 1.0)
+
+    def test_single_token_requests_report_nan_tbt(self):
+        """Regression: with no request emitting >= 2 tokens, TBT used to
+        be substituted with 0.0 — a perfect inter-token latency nobody
+        observed — and tokens/s/request came out infinite."""
+        requests = []
+        for i in range(4):
+            request = make_request(request_id=i, arrival_time=float(i),
+                                   output_tokens=1)
+            request.prefilled_tokens = 10
+            request.record_token(i + 0.5)
+            requests.append(request)
+        report = compute_qos(requests, wall_time_s=10.0)
+        assert math.isnan(report.tbt_mean_s)
+        assert math.isnan(report.tbt_p50_s)
+        assert math.isnan(report.tbt_p95_s)
+        assert math.isnan(report.tbt_p99_s)
+        assert math.isnan(report.mean_tokens_per_s_per_request)
+        # an unmeasured TBT must never satisfy an SLO
+        assert not report.meets_tbt_slo(1.0)
+        # TTFT and throughput stay measured
+        assert report.ttft_mean_s == pytest.approx(0.5)
+        assert report.tokens_per_s == pytest.approx(0.4)
+
+
+class TestRequestIdentity:
+    def test_equality_is_by_identity(self):
+        """Regression: value-based __eq__ made two same-shaped requests
+        alias each other in membership tests."""
+        a = make_request()
+        b = make_request()
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+    def test_usable_in_sets(self):
+        requests = [make_request(request_id=i % 2) for i in range(6)]
+        assert len(set(requests)) == 6
