@@ -39,7 +39,12 @@ def main() -> None:
 
     def replay():
         engine = ServingEngine(device, model, SchedulerLimits(max_batch=128))
-        return engine.run(load_requests(trace_path))
+        requests = load_requests(trace_path)
+        for request in requests:
+            # opt into full per-token timelines (slim tracking is the
+            # default); the timeline comparison below needs them
+            request.record_token_times = True
+        return engine.run(requests)
 
     first, second = replay(), replay()
     identical = all(a.token_times == b.token_times

@@ -28,6 +28,7 @@ from repro.core.scheduling import device_model_for
 from repro.hardware.chip import ChipSpec
 from repro.models.config import ModelConfig
 from repro.models.zoo import get_model
+from repro.perf.cache import CachedDeviceModel
 from repro.serving.engine import SimulationResult
 from repro.serving.policies import get_policy
 from repro.serving.qos import QoSReport, compute_qos
@@ -36,6 +37,26 @@ from repro.serving.utilization import UtilizationReport, utilization_report
 
 class EndpointOverloaded(RuntimeError):
     """No request finished inside the horizon: the load is unsustainable."""
+
+
+def _device_for(chip: ChipSpec, sim_cache: bool,
+                context_bucket: int):
+    """The device model for one run: fast path (memoized + compiled
+    decode plans) or the uncompiled reference implementation."""
+    from repro.hardware.chip import ChipKind
+
+    if not sim_cache:
+        if context_bucket != 1:
+            # a silently ignored bucket would make a bucketing-error
+            # study compare the reference against itself
+            raise ValueError(
+                "context_bucket requires the sim cache; drop "
+                "sim_cache=False / --no-sim-cache or use context_bucket=1")
+        if chip.kind == ChipKind.ADOR_HDA:
+            return device_model_for(chip, compiled_decode=False)
+        return device_model_for(chip)
+    return CachedDeviceModel(device_model_for(chip),
+                             context_bucket=context_bucket)
 
 
 @dataclass(frozen=True)
@@ -79,26 +100,38 @@ class ServingReport:
 
 
 def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
-             max_sim_seconds: float = 600.0
-             ) -> "ServingReport | ClusterReport":
+             max_sim_seconds: float = 600.0, *,
+             sim_cache: bool = True,
+             context_bucket: int = 1) -> "ServingReport | ClusterReport":
     """Run one serving experiment end-to-end and report QoS + utilization.
 
     Dispatches to :func:`simulate_cluster` when the deployment asks for
     more than one replica.  Raises :class:`EndpointOverloaded` if not a
     single request finishes within the horizon — the spec'd endpoint
     cannot sustain the load.
+
+    ``sim_cache`` enables the simulator fast path: device-model
+    memoization (:class:`~repro.perf.cache.CachedDeviceModel`) plus the
+    engines' multi-step decode fast-forward.  With the default
+    ``context_bucket=1`` the fast path is bit-identical to the reference
+    loop (``sim_cache=False``); larger buckets quantize the decode
+    context for higher hit rates at a small, measured latency error
+    (see ``benchmarks/bench_sim_speed.py``).
     """
     if deployment.replicas > 1:
         return simulate_cluster(deployment, workload,
-                                max_sim_seconds=max_sim_seconds)
+                                max_sim_seconds=max_sim_seconds,
+                                sim_cache=sim_cache,
+                                context_bucket=context_bucket)
     chip = deployment.chip_spec()
     model = get_model(deployment.model)
-    device = device_model_for(chip)
+    device = _device_for(chip, sim_cache, context_bucket)
     requests = workload.build_requests()
     runner = get_policy(deployment.batching)
     result = runner(device, model, requests, deployment.scheduler_limits(),
                     num_devices=deployment.num_devices,
-                    max_sim_seconds=max_sim_seconds)
+                    max_sim_seconds=max_sim_seconds,
+                    fast_forward=sim_cache)
     if not result.finished:
         raise EndpointOverloaded(
             f"no requests finished within {max_sim_seconds:g} s — "
@@ -173,13 +206,17 @@ class ClusterReport:
 
 
 def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
-                     max_sim_seconds: float = 600.0) -> ClusterReport:
+                     max_sim_seconds: float = 600.0, *,
+                     sim_cache: bool = True,
+                     context_bucket: int = 1) -> ClusterReport:
     """Run one cluster experiment: N replicas behind the spec'd router.
 
     The cluster engine is iteration-faithful only for continuous
     batching (each replica is a live, steppable endpoint); other
     batching policies are rejected loudly rather than silently
-    approximated.
+    approximated.  ``sim_cache`` / ``context_bucket`` behave as in
+    :func:`simulate`; the memoized device model is shared by every
+    replica, so one replica's decode evaluations warm the whole fleet.
     """
     if deployment.batching != "continuous":
         raise ValueError(
@@ -187,13 +224,14 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
             f"got {deployment.batching!r}")
     chip = deployment.chip_spec()
     model = get_model(deployment.model)
-    device = device_model_for(chip)
+    device = _device_for(chip, sim_cache, context_bucket)
     requests = workload.build_requests()
     engine = ClusterEngine(
         device, model, deployment.scheduler_limits(),
         num_devices=deployment.num_devices,
         replicas=deployment.replicas,
         router=deployment.router,
+        fast_forward=sim_cache,
     )
     cluster = engine.run(requests, max_sim_seconds=max_sim_seconds)
     if not cluster.merged.finished:
@@ -231,10 +269,13 @@ def save_experiment(experiment: Experiment,
     return path
 
 
-def run_experiment(source: Experiment | str | pathlib.Path
+def run_experiment(source: Experiment | str | pathlib.Path, *,
+                   sim_cache: bool = True,
+                   context_bucket: int = 1
                    ) -> ServingReport | ClusterReport:
     """Execute an :class:`Experiment` (or a path to one) end-to-end."""
     experiment = source if isinstance(source, Experiment) \
         else load_experiment(source)
     return simulate(experiment.deployment, experiment.workload,
-                    max_sim_seconds=experiment.max_sim_seconds)
+                    max_sim_seconds=experiment.max_sim_seconds,
+                    sim_cache=sim_cache, context_bucket=context_bucket)

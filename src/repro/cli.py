@@ -143,7 +143,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     try:
-        report = simulate(deployment, workload)
+        report = simulate(deployment, workload,
+                          sim_cache=not args.no_sim_cache,
+                          context_bucket=args.context_bucket)
     except EndpointOverloaded as exc:
         print(f"no requests finished — {exc}")
         return 1
@@ -169,7 +171,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 experiment,
                 deployment=dataclasses.replace(experiment.deployment,
                                                **overrides))
-        report = run_experiment(experiment)
+        report = run_experiment(experiment,
+                                sim_cache=not args.no_sim_cache,
+                                context_bucket=args.context_bucket)
     except EndpointOverloaded as exc:
         print(f"no requests finished — {exc}")
         return 1
@@ -236,6 +240,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--router", default="round-robin",
                        choices=list_routers(),
                        help="router policy for multi-replica serving")
+    serve.add_argument("--no-sim-cache", action="store_true",
+                       help="disable the simulator fast path (device-"
+                            "model memoization + decode fast-forward); "
+                            "results are bit-identical either way, the "
+                            "reference loop is just slower")
+    serve.add_argument("--context-bucket", type=int, default=1,
+                       help="decode-context quantization bucket for the "
+                            "sim cache; 1 (default) is exact, larger "
+                            "buckets trade a small latency error for "
+                            "faster sweeps")
 
     run = sub.add_parser(
         "run", help="execute a declarative experiment.json file")
@@ -244,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the experiment's replica count")
     run.add_argument("--router", default=None, choices=list_routers(),
                      help="override the experiment's router policy")
+    run.add_argument("--no-sim-cache", action="store_true",
+                     help="disable the simulator fast path (bit-identical "
+                          "results, reference speed)")
+    run.add_argument("--context-bucket", type=int, default=1,
+                     help="decode-context quantization bucket for the sim "
+                          "cache; 1 (default) is exact")
     return parser
 
 

@@ -11,15 +11,26 @@ reproduces the single-engine results.
 
 Per-iteration timing is delegated to each replica's ``ServingEngine`` —
 one source of truth for the HDA overlap model and device estimators.
+The replica stepper shares the engine's decode fast-forward (pure-decode
+runs apply in one shot, bit-identically), idle replicas skip their
+advance/snapshot bookkeeping entirely, and an already-sorted arrival
+stream is not re-sorted — together the per-arrival cost of a mostly-idle
+fleet drops to the router call itself.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from repro.cluster.report import ClusterResult, aggregate_cluster
 from repro.cluster.router import ReplicaSnapshot, RouterPolicy, make_router
 from repro.models.config import ModelConfig
 from repro.perf.baselines import DeviceModel
-from repro.serving.engine import ServingEngine, SimulationResult
+from repro.serving.engine import (
+    ServingEngine,
+    SimulationResult,
+    run_decode_burst,
+)
 from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
 
@@ -34,7 +45,7 @@ class ReplicaSim:
         self.scheduler = ContinuousBatchingScheduler(engine.model,
                                                      engine.limits)
         self.now = 0.0
-        self.pending: list[Request] = []   # routed here, not yet enqueued
+        self.pending: deque[Request] = deque()  # routed, not yet enqueued
         self.finished: list[Request] = []
         self.assigned_requests = 0
         self.assigned_tokens = 0
@@ -44,6 +55,7 @@ class ReplicaSim:
         self.busy = 0.0
         self.decode_time = 0.0
         self.prefill_time = 0.0
+        self._snapshot: ReplicaSnapshot | None = None
 
     # ------------------------------------------------------------------ #
     # Router-facing state                                                  #
@@ -57,21 +69,39 @@ class ReplicaSim:
     def outstanding_tokens(self) -> int:
         return self._outstanding_tokens
 
+    @property
+    def has_work(self) -> bool:
+        """Anything routed here that has not finished yet."""
+        return bool(self.pending) or self.scheduler.has_work
+
     def snapshot(self) -> ReplicaSnapshot:
-        return ReplicaSnapshot(
-            replica_id=self.replica_id,
-            clock_s=self.now,
-            outstanding_requests=self.outstanding_requests,
-            outstanding_tokens=self._outstanding_tokens,
-            queued_requests=len(self.pending) + len(self.scheduler.queued),
-            active_requests=self.scheduler.active_count,
-            assigned_requests=self.assigned_requests,
-            assigned_tokens=self.assigned_tokens,
-        )
+        # idle replicas are snapshotted once and served from cache until
+        # the next submit/advance dirties them — on a lightly loaded
+        # fleet this removes most of the per-arrival bookkeeping
+        snap = self._snapshot
+        if snap is None:
+            snap = ReplicaSnapshot(
+                replica_id=self.replica_id,
+                clock_s=self.now,
+                outstanding_requests=self.outstanding_requests,
+                outstanding_tokens=self._outstanding_tokens,
+                queued_requests=len(self.pending)
+                + len(self.scheduler.queued),
+                active_requests=self.scheduler.active_count,
+                assigned_requests=self.assigned_requests,
+                assigned_tokens=self.assigned_tokens,
+            )
+            self._snapshot = snap
+        return snap
 
     # ------------------------------------------------------------------ #
     # Simulation                                                           #
     # ------------------------------------------------------------------ #
+
+    def _note_finished(self, request: Request) -> None:
+        """Per-completion hook for the shared decode burst."""
+        self._outstanding_tokens -= (request.input_tokens
+                                     + request.output_tokens)
 
     def submit(self, request: Request) -> None:
         """Route ``request`` here; it arrives when the clock reaches it.
@@ -84,6 +114,7 @@ class ReplicaSim:
         tokens = request.input_tokens + request.output_tokens
         self.assigned_tokens += tokens
         self._outstanding_tokens += tokens
+        self._snapshot = None
 
     def advance_to(self, target: float, horizon: float) -> None:
         """Run iterations until the clock reaches ``min(target, horizon)``
@@ -94,41 +125,67 @@ class ReplicaSim:
         idle replica's clock stays at its last event (never inflated to
         the horizon).
         """
+        if not self.has_work:
+            return
+        self._snapshot = None
         limit = min(target, horizon)
+        scheduler = self.scheduler
+        pending = self.pending
+        engine = self.engine
+        device = engine.device
+        model = engine.model
+        num_devices = engine.num_devices
+        fast_forward = engine.fast_forward
         while self.now < limit:
-            while self.pending and self.pending[0].arrival_time <= self.now:
-                self.scheduler.enqueue(self.pending.pop(0))
-            plan = self.scheduler.plan_iteration()
+            while pending and pending[0].arrival_time <= self.now:
+                scheduler.enqueue(pending.popleft())
+            plan = scheduler.plan_iteration()
             if not plan.has_work:
-                if not self.pending:
+                if not pending:
                     break
                 # idle-jump to the next routed arrival, clamped to the
                 # limit — the same rule as ServingEngine.run, so a
                 # post-horizon arrival leaves the clock at the horizon,
                 # never past it
-                self.now = min(self.pending[0].arrival_time, limit)
+                self.now = min(pending[0].arrival_time, limit)
+                continue
+            if fast_forward and plan.decode_batch \
+                    and plan.prefill_tokens == 0:
+                # same pure-decode fast-forward as ServingEngine.run,
+                # additionally bounded by the advance limit
+                self.now, steps, self.busy, self.decode_time = \
+                    run_decode_burst(
+                        scheduler, plan, pending, device, model,
+                        num_devices, self.now, limit, self.busy,
+                        self.decode_time, self.finished,
+                        on_finish=self._note_finished)
+                self.iterations += steps
+                self.decode_steps += steps
                 continue
             step, decode_part, prefill_part = \
-                self.engine._iteration_seconds(plan)
+                engine._iteration_seconds(plan)
             self.now += step
             self.busy += step
             self.decode_time += decode_part
             self.prefill_time += prefill_part
             self.iterations += 1
-            if plan.decode_requests:
+            if plan.decode_batch:
                 self.decode_steps += 1
+                finished_now: list[Request] = []
                 for request in plan.decode_requests:
                     request.record_token(self.now)
                     if request.done:
                         self.finished.append(request)
+                        finished_now.append(request)
                         self._outstanding_tokens -= (
                             request.input_tokens + request.output_tokens)
-            self.scheduler.complete_iteration(plan)
+                plan.finished_decodes = finished_now
+            scheduler.complete_iteration(plan)
 
     def result(self) -> SimulationResult:
         """This replica's outcome in the single-engine result shape."""
         unfinished = (self.scheduler.prefilling + self.scheduler.decoding
-                      + self.scheduler.queued + self.pending)
+                      + list(self.scheduler.queued) + list(self.pending))
         return SimulationResult(
             finished=list(self.finished),
             unfinished=unfinished,
@@ -139,6 +196,17 @@ class ReplicaSim:
             decode_time_s=self.decode_time,
             prefill_time_s=self.prefill_time,
         )
+
+
+def _sorted_by_arrival(requests: list[Request]) -> list[Request]:
+    """The arrival stream in time order, without copying when already
+    sorted — repeat runs over one stream skip the re-sort entirely."""
+    previous = None
+    for request in requests:
+        if previous is not None and request.arrival_time < previous:
+            return sorted(requests, key=lambda r: r.arrival_time)
+        previous = request.arrival_time
+    return requests
 
 
 class ClusterEngine:
@@ -158,6 +226,7 @@ class ClusterEngine:
         num_devices: int = 1,
         replicas: int = 2,
         router: str | RouterPolicy = "round-robin",
+        fast_forward: bool = True,
     ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -167,6 +236,7 @@ class ClusterEngine:
         self.num_devices = num_devices
         self.replicas = replicas
         self.router = router
+        self.fast_forward = fast_forward
         make_router(router)  # fail on unknown names at construction
 
     def run(self, requests: list[Request],
@@ -174,11 +244,12 @@ class ClusterEngine:
         """Route the arrival stream, drain every replica, aggregate."""
         fleet = [
             ReplicaSim(i, ServingEngine(self.device, self.model,
-                                        self.limits, self.num_devices))
+                                        self.limits, self.num_devices,
+                                        fast_forward=self.fast_forward))
             for i in range(self.replicas)
         ]
         router = make_router(self.router)
-        for request in sorted(requests, key=lambda r: r.arrival_time):
+        for request in _sorted_by_arrival(requests):
             arrival = request.arrival_time
             for replica in fleet:
                 replica.advance_to(arrival, max_sim_seconds)

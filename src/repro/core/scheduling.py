@@ -31,6 +31,7 @@ from repro.models.layers import (
     Operator,
     OperatorKind,
     Phase,
+    attention_operator,
     decoder_layer_operators,
     lm_head_operator,
 )
@@ -41,6 +42,24 @@ from repro.perf.effective_bandwidth import MT_BANDWIDTH_CURVE
 from repro.perf.mac_tree import MacTreeTimingModel
 from repro.perf.systolic import SystolicTimingModel
 from repro.perf.vector import VectorTimingModel
+
+
+@dataclass(frozen=True)
+class _DecodePlan:
+    """Context-independent constants of one decode operating point.
+
+    ``entries`` holds ``(kind, name, value, compute_seconds)`` per layer
+    operator: for GEMMs ``value`` is the TP-sharded weight bytes and
+    ``compute_seconds`` the compute-bound floor; for vector ops ``value``
+    is the finished latency; the attention slot is re-evaluated per call
+    (it is the only context-dependent operator).  ``flops`` mirrors the
+    operator order with ``None`` marking the attention slot, so the
+    step-FLOPs sum reproduces the uncompiled order exactly.
+    """
+
+    entries: list
+    flops: list
+    head_seconds: float
 
 
 @dataclass(frozen=True)
@@ -66,7 +85,8 @@ class HdaScheduler:
     """Stage-latency estimator for one ADOR HDA chip."""
 
     def __init__(self, chip: ChipSpec, use_mac_tree: bool = True,
-                 config: SchedulerConfig | None = None) -> None:
+                 config: SchedulerConfig | None = None,
+                 compiled_decode: bool = True) -> None:
         if chip.kind != ChipKind.ADOR_HDA:
             raise ValueError(f"{chip.name} is not an ADOR HDA chip")
         if chip.systolic_array is None:
@@ -93,6 +113,12 @@ class HdaScheduler:
             frequency_hz=chip.frequency_hz,
         ) if chip.vector_unit is not None else None
         self.dataflow_latency = MultiCoreDataflow(chip, DataflowKind.LATENCY)
+        # compiled decode-layer plans keyed (model, batch, devices): the
+        # context-independent constants of a decode step, rebuilt only
+        # when the operating point changes (see _build_decode_plan);
+        # compiled_decode=False keeps the reference per-operator path
+        self.compiled_decode = compiled_decode
+        self._decode_plans: dict = {}
 
     # ------------------------------------------------------------------ #
     # Effective rates                                                     #
@@ -201,6 +227,11 @@ class HdaScheduler:
         """Per-operator seconds for one decoder layer (Fig. 11a bars)."""
         if devices < 1:
             raise ValueError("devices must be >= 1")
+        if phase == Phase.DECODE and query_len == 1 and self.compiled_decode:
+            # the serving hot path: thousands of near-identical decode
+            # steps per simulation — reuse the compiled constants
+            return self._decode_layer_breakdown(model, batch, context_len,
+                                                devices)
         ops = decoder_layer_operators(model, phase, batch, query_len, context_len)
         step_flops = sum(op.flops for op in ops) * model.num_layers
         utilization = self._decode_utilization(step_flops)
@@ -226,6 +257,91 @@ class HdaScheduler:
         compute_floor = breakdown.get("out_proj", 0.0)
         bubble = self.dataflow_latency.sync_bubble(
             rows, model.hidden_size, compute_floor, CoreSyncMethod.ALL_GATHER)
+        breakdown["core_sync"] = 2 * bubble.exposed_seconds \
+            + self.config.layer_overhead_s
+        return breakdown
+
+    # ------------------------------------------------------------------ #
+    # Compiled decode plans                                                #
+    # ------------------------------------------------------------------ #
+    #
+    # A decode step (query_len == 1) re-derives the same per-operator
+    # constants every call: only the attention operator and the
+    # bandwidth-utilization point depend on the context length.  The
+    # serving simulator evaluates decode_step_time thousands of times per
+    # run, so the context-independent parts are compiled once per
+    # (model, batch, devices) operating point.  Every arithmetic
+    # expression below reproduces the general layer_breakdown() path
+    # operation-for-operation, so the fast path is bit-identical — the
+    # parity suite in tests/test_sim_fastpath.py holds it to that.
+
+    def _decode_plan(self, model: ModelConfig, batch: int,
+                     devices: int) -> "_DecodePlan":
+        key = (model, batch, devices)
+        plan = self._decode_plans.get(key)
+        if plan is None:
+            plan = self._build_decode_plan(model, batch, devices)
+            self._decode_plans[key] = plan
+        return plan
+
+    def _build_decode_plan(self, model: ModelConfig, batch: int,
+                           devices: int) -> "_DecodePlan":
+        # context length 1 is a probe: every cached constant below is
+        # context-independent (the attention operator is rebuilt per call)
+        ops = decoder_layer_operators(model, Phase.DECODE, batch, 1, 1)
+        rates = self.systolic.peak_flops * self.config.sa_efficiency \
+            + self._mt_rate()
+        entries: list = []
+        flops: list = []
+        for op in ops:
+            if op.kind == OperatorKind.GEMM:
+                entries.append(("gemm", op.name, op.weight_bytes / devices,
+                                (op.flops / devices) / rates))
+                flops.append(op.flops)
+            elif op.kind == OperatorKind.ATTENTION:
+                entries.append(("attn", op.name, 0.0, 0.0))
+                flops.append(None)
+            else:
+                entries.append(("vector", op.name,
+                                self._vector_seconds(op, devices), 0.0))
+                flops.append(op.flops)
+        head = lm_head_operator(model, Phase.DECODE, batch)
+        step_flops = 2.0 * batch * model.active_params_per_token
+        head_seconds = self._decode_gemm_seconds(
+            head, devices, self._decode_utilization(step_flops))
+        return _DecodePlan(entries=entries, flops=flops,
+                           head_seconds=head_seconds)
+
+    def _decode_layer_breakdown(self, model: ModelConfig, batch: int,
+                                context_len: int,
+                                devices: int) -> dict[str, float]:
+        """layer_breakdown(DECODE, query_len=1) via the compiled plan."""
+        plan = self._decode_plan(model, batch, devices)
+        attn = attention_operator(model, Phase.DECODE, batch, 1, context_len)
+        # same left-to-right order as sum(op.flops for op in ops)
+        total = 0
+        for f in plan.flops:
+            total = total + (attn.flops if f is None else f)
+        step_flops = total * model.num_layers
+        utilization = self._decode_utilization(step_flops)
+        bw_util = self.chip.memory_bandwidth * utilization
+        breakdown: dict[str, float] = {}
+        for kind, name, value, compute_seconds in plan.entries:
+            if kind == "gemm":
+                # value = sharded weight bytes; same expression as
+                # _decode_gemm_seconds with the constants hoisted
+                seconds = max(value / bw_util, compute_seconds)
+            elif kind == "attn":
+                seconds = self._decode_attention_seconds(
+                    attn, devices, utilization, model.dtype_bytes)
+                seconds += self._softmax_seconds(attn, devices)
+            else:
+                seconds = value  # precomputed vector-op seconds
+            breakdown[name] = breakdown.get(name, 0.0) + seconds
+        compute_floor = breakdown.get("out_proj", 0.0)
+        bubble = self.dataflow_latency.sync_bubble(
+            batch, model.hidden_size, compute_floor,
+            CoreSyncMethod.ALL_GATHER)
         breakdown["core_sync"] = 2 * bubble.exposed_seconds \
             + self.config.layer_overhead_s
         return breakdown
@@ -270,11 +386,17 @@ class HdaScheduler:
         layer = self.layer_breakdown(
             model, Phase.DECODE, batch, 1, context_len, devices)
         body = sum(layer.values()) * model.num_layers
-        # LM head: a weight-streamed GEMM over the vocabulary
-        head = lm_head_operator(model, Phase.DECODE, batch)
-        step_flops = 2.0 * batch * model.active_params_per_token
-        utilization = self._decode_utilization(step_flops)
-        head_seconds = self._decode_gemm_seconds(head, devices, utilization)
+        # LM head: a weight-streamed GEMM over the vocabulary — context-
+        # independent, so the compiled plan carries it precomputed
+        if self.compiled_decode:
+            head_seconds = self._decode_plan(model, batch, devices) \
+                .head_seconds
+        else:
+            head = lm_head_operator(model, Phase.DECODE, batch)
+            step_flops = 2.0 * batch * model.active_params_per_token
+            utilization = self._decode_utilization(step_flops)
+            head_seconds = self._decode_gemm_seconds(head, devices,
+                                                     utilization)
         body += head_seconds
         comm = self._tp_sync_seconds(model, batch, devices, body,
                                      overlap_capacity=0.95)
@@ -290,13 +412,20 @@ class HdaScheduler:
 
 
 class AdorDeviceModel(DeviceModel):
-    """:class:`DeviceModel` facade over the HDA scheduler."""
+    """:class:`DeviceModel` facade over the HDA scheduler.
+
+    ``compiled_decode=False`` forces the scheduler's uncompiled
+    per-operator decode evaluation — the reference implementation the
+    compiled plans are held bit-identical to.
+    """
 
     def __init__(self, chip: ChipSpec, use_mac_tree: bool = True,
-                 config: SchedulerConfig | None = None) -> None:
+                 config: SchedulerConfig | None = None,
+                 compiled_decode: bool = True) -> None:
         super().__init__(chip)
         self.scheduler = HdaScheduler(chip, use_mac_tree=use_mac_tree,
-                                      config=config)
+                                      config=config,
+                                      compiled_decode=compiled_decode)
 
     def prefill_time(self, model: ModelConfig, batch: int, seq_len: int,
                      num_devices: int = 1) -> BaselineBreakdown:

@@ -29,6 +29,7 @@ from repro.perf.baselines import (
     TspModel,
     baseline_for,
 )
+from repro.perf.cache import CachedDeviceModel, CacheStats
 
 __all__ = [
     "EffectiveBandwidthCurve",
@@ -47,4 +48,6 @@ __all__ = [
     "SystolicNpuModel",
     "TspModel",
     "baseline_for",
+    "CachedDeviceModel",
+    "CacheStats",
 ]

@@ -33,7 +33,11 @@ class BatchingPolicy(enum.Enum):
 
 
 #: A policy runner simulates one request stream under one discipline:
-#: ``runner(device, model, requests, limits, num_devices, max_sim_seconds)``.
+#: ``runner(device, model, requests, limits, num_devices, max_sim_seconds,
+#: fast_forward)``.  ``fast_forward`` opts into simulator fast paths that
+#: are bit-identical to the plain loop (see
+#: :class:`repro.serving.engine.ServingEngine`); runners without such a
+#: path accept and ignore it.
 PolicyRunner = Callable[..., SimulationResult]
 
 POLICY_REGISTRY = Registry("batching policy")
@@ -173,7 +177,8 @@ def _simulate_static(device: DeviceModel, model: ModelConfig,
 @register_policy("no-batching")
 def run_no_batching(device: DeviceModel, model: ModelConfig, requests: list,
                     limits: SchedulerLimits, num_devices: int = 1,
-                    max_sim_seconds: float = 3600.0) -> SimulationResult:
+                    max_sim_seconds: float = 3600.0,
+                    fast_forward: bool = True) -> SimulationResult:
     """FIFO, one request at a time (``limits`` is ignored by design)."""
     return _simulate_no_batching(device, model, requests, num_devices,
                                  max_sim_seconds)
@@ -182,7 +187,8 @@ def run_no_batching(device: DeviceModel, model: ModelConfig, requests: list,
 @register_policy("static")
 def run_static(device: DeviceModel, model: ModelConfig, requests: list,
                limits: SchedulerLimits, num_devices: int = 1,
-               max_sim_seconds: float = 3600.0) -> SimulationResult:
+               max_sim_seconds: float = 3600.0,
+               fast_forward: bool = True) -> SimulationResult:
     """Fixed batches of ``limits.max_batch`` requests."""
     return _simulate_static(device, model, requests, limits.max_batch,
                             num_devices, max_sim_seconds)
@@ -191,9 +197,11 @@ def run_static(device: DeviceModel, model: ModelConfig, requests: list,
 @register_policy("continuous")
 def run_continuous(device: DeviceModel, model: ModelConfig, requests: list,
                    limits: SchedulerLimits, num_devices: int = 1,
-                   max_sim_seconds: float = 3600.0) -> SimulationResult:
+                   max_sim_seconds: float = 3600.0,
+                   fast_forward: bool = True) -> SimulationResult:
     """Iteration-level continuous batching (the paper's default)."""
-    engine = ServingEngine(device, model, limits, num_devices)
+    engine = ServingEngine(device, model, limits, num_devices,
+                           fast_forward=fast_forward)
     return engine.run(requests, max_sim_seconds=max_sim_seconds)
 
 

@@ -65,7 +65,7 @@ def compute_qos(finished: list[Request], wall_time_s: float) -> QoSReport:
     if wall_time_s <= 0:
         raise ValueError("wall time must be positive")
     ttft = np.array([r.ttft for r in finished])
-    tbt = np.array([r.tbt for r in finished if len(r.token_times) >= 2])
+    tbt = np.array([r.tbt for r in finished if r.generated_tokens >= 2])
     if tbt.size == 0:
         # no request emitted >= 2 tokens: TBT is unmeasured, not zero —
         # nan keeps meets_tbt_slo() False instead of reporting a perfect

@@ -32,6 +32,13 @@ class Request:
     cluster's session-affinity router uses it to pin a conversation (and
     its reusable KV prefix) to one replica.  Single-turn streams leave it
     ``None``.
+
+    Token tracking is slim by default: QoS needs only the first/last
+    emission stamps and the token count (TTFT, the mean inter-token gap
+    and E2E all derive from those), so ``token_times`` stays empty unless
+    ``record_token_times=True`` asks for the full per-token timeline
+    (trace exports, debugging).  Recording on or off, every derived
+    metric is identical.
     """
 
     request_id: int
@@ -45,6 +52,8 @@ class Request:
     finish_time: float | None = None
     token_times: list = field(default_factory=list)
     session_id: int | None = None
+    last_token_time: float | None = None
+    record_token_times: bool = False
 
     def __post_init__(self) -> None:
         if self.input_tokens < 1 or self.output_tokens < 1:
@@ -79,10 +88,10 @@ class Request:
     @property
     def tbt(self) -> float:
         """Mean time between tokens after the first."""
-        if len(self.token_times) < 2:
+        if self.generated_tokens < 2:
             return 0.0
-        return (self.token_times[-1] - self.token_times[0]) \
-            / (len(self.token_times) - 1)
+        return (self.last_token_time - self.first_token_time) \
+            / (self.generated_tokens - 1)
 
     @property
     def e2e_latency(self) -> float:
@@ -93,9 +102,31 @@ class Request:
     def record_token(self, now: float) -> None:
         """Stamp one generated token at simulation time ``now``."""
         self.generated_tokens += 1
-        self.token_times.append(now)
+        if self.record_token_times:
+            self.token_times.append(now)
         if self.first_token_time is None:
             self.first_token_time = now
+        self.last_token_time = now
         if self.done:
             self.finish_time = now
+            self.state = RequestState.FINISHED
+
+    def record_token_burst(self, times: list) -> None:
+        """Stamp ``len(times)`` consecutive tokens in one call.
+
+        The engine's decode fast-forward applies a whole run of pure
+        decode steps at once; ``times`` holds the per-step completion
+        stamps in order, so the result is indistinguishable from calling
+        :meth:`record_token` once per step.
+        """
+        if not times:
+            return
+        self.generated_tokens += len(times)
+        if self.record_token_times:
+            self.token_times.extend(times)
+        if self.first_token_time is None:
+            self.first_token_time = times[0]
+        self.last_token_time = times[-1]
+        if self.done:
+            self.finish_time = times[-1]
             self.state = RequestState.FINISHED

@@ -10,10 +10,19 @@ Each engine iteration the scheduler:
 
 Admission control uses the KV-capacity math of
 :mod:`repro.models.kv_cache`.
+
+The scheduler's per-iteration state is maintained incrementally: the
+decode batch is handed out as a stable reference (no per-iteration
+copies), the sum of decode context lengths is a running integer counter
+(so the engine never rebuilds an O(batch) context list), and the
+admission queue is a :class:`collections.deque` (O(1) FIFO pops).  All
+counters are exact — integer arithmetic has no drift — so the
+incremental state is bit-identical to recomputing from scratch.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.models.config import ModelConfig
@@ -36,19 +45,35 @@ class SchedulerLimits:
 
 @dataclass
 class IterationPlan:
-    """What one engine iteration will execute."""
+    """What one engine iteration will execute.
+
+    ``decode_requests`` may alias the scheduler's live decode list (the
+    engine consumes the plan before the scheduler mutates it again), so
+    ``decode_batch`` and ``decode_context_sum`` capture the batch size
+    and the summed context lengths at planning time.  The engine reports
+    the requests that finished during the iteration via
+    ``finished_decodes``; when left ``None`` (direct scheduler drivers),
+    :meth:`ContinuousBatchingScheduler.complete_iteration` scans for
+    finished members itself.
+    """
 
     decode_requests: list = field(default_factory=list)
     prefill_request: Request | None = None
     prefill_tokens: int = 0
+    decode_batch: int = 0
+    decode_context_sum: int = 0
+    finished_decodes: list | None = None
 
-    @property
-    def decode_batch(self) -> int:
-        return len(self.decode_requests)
+    def __post_init__(self) -> None:
+        if self.decode_requests and self.decode_batch == 0:
+            # hand-built plans get the derived fields filled in
+            self.decode_batch = len(self.decode_requests)
+            self.decode_context_sum = sum(
+                r.context_len for r in self.decode_requests)
 
     @property
     def has_work(self) -> bool:
-        return bool(self.decode_requests) or self.prefill_tokens > 0
+        return self.decode_batch > 0 or self.prefill_tokens > 0
 
 
 class ContinuousBatchingScheduler:
@@ -57,11 +82,15 @@ class ContinuousBatchingScheduler:
     def __init__(self, model: ModelConfig, limits: SchedulerLimits) -> None:
         self.model = model
         self.limits = limits
-        self.queued: list[Request] = []
+        self.queued: deque[Request] = deque()
         self.prefilling: list[Request] = []
         self.decoding: list[Request] = []
         self._kv_per_token = kv_bytes_per_token(model)
         self._reserved_kv_bytes = 0.0
+        # running sum of decode context lengths at planning time; exact
+        # (integer) and updated on admit/finish/per-step so the engine
+        # never rebuilds an O(batch) context list per iteration
+        self._decode_context_sum = 0
 
     # ------------------------------------------------------------------ #
     # Bookkeeping                                                          #
@@ -70,6 +99,11 @@ class ContinuousBatchingScheduler:
     @property
     def active_count(self) -> int:
         return len(self.prefilling) + len(self.decoding)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.queued) or bool(self.prefilling) \
+            or bool(self.decoding)
 
     def _request_kv_bytes(self, request: Request) -> float:
         return (request.input_tokens + request.output_tokens) \
@@ -82,6 +116,10 @@ class ContinuousBatchingScheduler:
         recomputing the sum per admission candidate made every engine
         iteration O(active^2)."""
         return self._reserved_kv_bytes
+
+    def decode_context_sum(self) -> int:
+        """Summed context lengths of the decode batch (running counter)."""
+        return self._decode_context_sum
 
     def enqueue(self, request: Request) -> None:
         if request.state != RequestState.QUEUED:
@@ -99,7 +137,7 @@ class ContinuousBatchingScheduler:
                 + self._request_kv_bytes(candidate)
             if projected > self.limits.kv_budget_bytes:
                 break
-            self.queued.pop(0)
+            self.queued.popleft()
             candidate.state = RequestState.PREFILLING
             self.prefilling.append(candidate)
             self._reserved_kv_bytes = projected
@@ -107,13 +145,31 @@ class ContinuousBatchingScheduler:
     def plan_iteration(self) -> IterationPlan:
         """Admit, pick the prefill chunk and the decode batch."""
         self._admit()
-        plan = IterationPlan(decode_requests=list(self.decoding))
+        plan = IterationPlan(
+            decode_requests=self.decoding,
+            decode_batch=len(self.decoding),
+            decode_context_sum=self._decode_context_sum,
+        )
         if self.prefilling:
             head = self.prefilling[0]
             plan.prefill_request = head
             plan.prefill_tokens = min(self.limits.prefill_chunk_tokens,
                                       head.prefill_remaining)
         return plan
+
+    def _remove_finished(self, finished: list) -> None:
+        for request in finished:
+            self._reserved_kv_bytes -= self._request_kv_bytes(request)
+            self._decode_context_sum -= request.context_len
+        finished_set = set(finished)  # identity-keyed (Request has eq=False)
+        self.decoding = [r for r in self.decoding
+                         if r not in finished_set]
+
+    def _clamp_when_drained(self) -> None:
+        if not self.prefilling and not self.decoding:
+            # clamp float drift whenever the endpoint fully drains
+            self._reserved_kv_bytes = 0.0
+            self._decode_context_sum = 0
 
     def complete_iteration(self, plan: IterationPlan) -> None:
         """Apply state transitions after the engine executed ``plan``."""
@@ -124,11 +180,28 @@ class ContinuousBatchingScheduler:
                 self.prefilling.remove(request)
                 request.state = RequestState.DECODING
                 self.decoding.append(request)
-        for request in self.decoding:
-            if request.state == RequestState.FINISHED:
-                self._reserved_kv_bytes -= self._request_kv_bytes(request)
-        self.decoding = [r for r in self.decoding
-                         if r.state != RequestState.FINISHED]
-        if not self.prefilling and not self.decoding:
-            # clamp float drift whenever the endpoint fully drains
-            self._reserved_kv_bytes = 0.0
+                self._decode_context_sum += request.context_len
+        if plan.decode_batch:
+            # every decode-batch member emitted one token this iteration
+            self._decode_context_sum += plan.decode_batch
+            finished = plan.finished_decodes
+            if finished is None:
+                finished = [r for r in self.decoding
+                            if r.state == RequestState.FINISHED]
+            if finished:
+                self._remove_finished(finished)
+        self._clamp_when_drained()
+
+    def complete_burst(self, plan: IterationPlan, steps: int,
+                       finished: list) -> None:
+        """Apply ``steps`` consecutive pure-decode iterations at once.
+
+        The engine's fast-forward path guarantees no prefill work and no
+        admissions happened during the burst; each decode member emitted
+        ``steps`` tokens and ``finished`` lists the members that
+        completed on the final step.
+        """
+        self._decode_context_sum += plan.decode_batch * steps
+        if finished:
+            self._remove_finished(finished)
+        self._clamp_when_drained()

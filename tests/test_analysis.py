@@ -64,6 +64,14 @@ class TestFormatTable:
             format_table(["a", "b"], [[1]])
 
 
+def _square(x):
+    return x * x
+
+
+def _fail_at_two(x):
+    return 1 / (x - 2)
+
+
 class TestSweep:
     def test_pairs_returned(self):
         assert sweep([1, 2, 3], lambda x: x * x) == [(1, 1), (2, 4), (3, 9)]
@@ -71,3 +79,20 @@ class TestSweep:
     def test_failure_names_the_point(self):
         with pytest.raises(RuntimeError, match="sweep failed at value 2"):
             sweep([1, 2], lambda x: 1 / (x - 2))
+
+    def test_workers_preserve_input_order(self):
+        values = list(range(12))
+        assert sweep(values, _square, workers=4) \
+            == [(v, v * v) for v in values]
+
+    def test_workers_annotate_failures(self):
+        with pytest.raises(RuntimeError, match="sweep failed at value 2"):
+            sweep([1, 2, 3], _fail_at_two, workers=2)
+
+    def test_single_worker_stays_in_process(self):
+        # lambdas are unpicklable: workers=1 must not spawn a pool
+        assert sweep([1, 2], lambda x: x + 1, workers=1) == [(1, 2), (2, 3)]
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            sweep([1], _square, workers=0)

@@ -32,7 +32,7 @@ request_lists = st.lists(
 
 def build_requests(spec) -> list:
     return [Request(request_id=i, arrival_time=a, input_tokens=inp,
-                    output_tokens=out)
+                    output_tokens=out, record_token_times=True)
             for i, (a, inp, out) in enumerate(spec)]
 
 

@@ -139,9 +139,13 @@ class TestEngine:
 
     def test_token_times_monotonic(self, llama3):
         engine = self._engine(llama3)
-        result = engine.run(make_requests(5, output_tokens=20))
+        requests = make_requests(5, output_tokens=20)
+        for request in requests:
+            request.record_token_times = True
+        result = engine.run(requests)
         for request in result.finished:
             times = request.token_times
+            assert len(times) == request.output_tokens
             assert all(t1 < t2 for t1, t2 in zip(times, times[1:]))
 
     def test_ttft_at_least_prefill_time(self, llama3):

@@ -1,0 +1,392 @@
+"""Parity suite for the simulator fast path.
+
+The fast path (device-model memoization, compiled decode plans,
+multi-step decode fast-forward) must be *bit-identical* to the reference
+one-iteration-at-a-time loop at ``context_bucket=1``: same
+``SimulationResult`` counters, same per-request timestamps, same
+``QoSReport`` / ``ClusterResult``.  These tests hold it to that across
+every chip kind, steady and bursty traces, and single/multi-replica
+deployments, plus unit coverage for the cache keying, bucket
+quantization error bounds, and the fast-forward interruption cases.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.api import DeploymentSpec, WorkloadSpec, simulate
+from repro.api.facade import _device_for
+from repro.cluster.engine import ClusterEngine, _sorted_by_arrival
+from repro.core.scheduling import AdorDeviceModel
+from repro.hardware.presets import ador_table3
+from repro.hardware.registry import get_chip
+from repro.models.zoo import get_model
+from repro.perf.cache import CachedDeviceModel
+from repro.serving.dataset import ULTRACHAT_LIKE, ChatTraceConfig
+from repro.serving.engine import ServingEngine
+from repro.serving.generator import (
+    OnOffRequestGenerator,
+    PoissonRequestGenerator,
+)
+from repro.serving.qos import compute_qos
+from repro.serving.request import Request
+from repro.serving.scheduler import SchedulerLimits
+
+#: one registry chip per ChipKind
+CHIPS = ("ador", "a100", "tpuv4", "tsp")
+
+BURSTY_TRACE = ChatTraceConfig(
+    name="bursty-parity",
+    input_median=400.0,
+    input_sigma=0.7,
+    output_median=90.0,
+    output_sigma=1.0,
+)
+
+LIMITS = SchedulerLimits(max_batch=8, prefill_chunk_tokens=256)
+MODEL = get_model("llama3-8b")
+
+
+def steady_requests(count=36, rate=6.0, seed=11):
+    rng = np.random.default_rng(seed)
+    return PoissonRequestGenerator(ULTRACHAT_LIKE, rate, rng).generate(count)
+
+
+def bursty_requests(count=36, seed=13):
+    rng = np.random.default_rng(seed)
+    return OnOffRequestGenerator(
+        BURSTY_TRACE, on_rate_per_s=30.0, off_rate_per_s=2.0,
+        phase_seconds=2.0, rng=rng).generate(count)
+
+
+def request_fingerprints(requests):
+    return sorted(
+        (r.request_id, r.generated_tokens, r.prefilled_tokens,
+         r.first_token_time, r.last_token_time, r.finish_time,
+         r.state.value)
+        for r in requests)
+
+
+def result_fingerprint(result):
+    return (
+        result.total_time_s, result.iterations, result.decode_steps,
+        result.busy_time_s, result.decode_time_s, result.prefill_time_s,
+        request_fingerprints(result.finished),
+        request_fingerprints(result.unfinished),
+    )
+
+
+def run_single(chip_name, requests, fast, horizon=600.0):
+    chip = get_chip(chip_name)
+    device = _device_for(chip, sim_cache=fast, context_bucket=1)
+    engine = ServingEngine(device, MODEL, LIMITS, fast_forward=fast)
+    return engine.run(copy.deepcopy(requests), max_sim_seconds=horizon)
+
+
+def run_cluster(chip_name, requests, fast, replicas=4, horizon=600.0):
+    chip = get_chip(chip_name)
+    device = _device_for(chip, sim_cache=fast, context_bucket=1)
+    engine = ClusterEngine(device, MODEL, LIMITS, replicas=replicas,
+                           router="least-outstanding", fast_forward=fast)
+    return engine.run(copy.deepcopy(requests), max_sim_seconds=horizon)
+
+
+class TestParityMatrix:
+    """Fast path == reference path, bit for bit."""
+
+    @pytest.mark.parametrize("chip", CHIPS)
+    @pytest.mark.parametrize("trace", ("steady", "bursty"))
+    def test_single_engine(self, chip, trace):
+        requests = steady_requests() if trace == "steady" \
+            else bursty_requests()
+        fast = run_single(chip, requests, fast=True)
+        reference = run_single(chip, requests, fast=False)
+        assert result_fingerprint(fast) == result_fingerprint(reference)
+        if fast.finished:
+            assert compute_qos(fast.finished, fast.total_time_s) \
+                == compute_qos(reference.finished, reference.total_time_s)
+
+    @pytest.mark.parametrize("chip", CHIPS)
+    @pytest.mark.parametrize("trace", ("steady", "bursty"))
+    def test_four_replica_cluster(self, chip, trace):
+        requests = steady_requests(rate=20.0) if trace == "steady" \
+            else bursty_requests()
+        fast = run_cluster(chip, requests, fast=True)
+        reference = run_cluster(chip, requests, fast=False)
+        assert result_fingerprint(fast.merged) \
+            == result_fingerprint(reference.merged)
+        for fast_rep, ref_rep in zip(fast.replica_results,
+                                     reference.replica_results):
+            assert result_fingerprint(fast_rep) \
+                == result_fingerprint(ref_rep)
+        assert fast.load == reference.load
+        assert fast.qos() == reference.qos()
+
+    def test_single_replica_cluster_matches_engine(self):
+        requests = steady_requests()
+        cluster = run_cluster("ador", requests, fast=True, replicas=1)
+        single = run_single("ador", requests, fast=True)
+        assert result_fingerprint(cluster.merged) \
+            == result_fingerprint(single)
+
+    def test_reference_path_rejects_bucketing(self):
+        with pytest.raises(ValueError, match="context_bucket requires"):
+            simulate(DeploymentSpec(chip="ador"),
+                     WorkloadSpec(num_requests=5),
+                     sim_cache=False, context_bucket=32)
+
+    def test_facade_parity(self):
+        deployment = DeploymentSpec(chip="ador", replicas=4,
+                                    router="least-outstanding", max_batch=8)
+        workload = WorkloadSpec(rate_per_s=25.0, num_requests=80, seed=5)
+        fast = simulate(deployment, workload)
+        reference = simulate(deployment, workload, sim_cache=False)
+        assert fast.qos == reference.qos
+        assert result_fingerprint(fast.result) \
+            == result_fingerprint(reference.result)
+
+
+class TestCacheKeying:
+    def _device(self, bucket=1):
+        return CachedDeviceModel(AdorDeviceModel(ador_table3()),
+                                 context_bucket=bucket)
+
+    def test_hit_returns_identical_object(self):
+        device = self._device()
+        first = device.decode_step_time(MODEL, 4, 777)
+        second = device.decode_step_time(MODEL, 4, 777)
+        assert second is first
+        assert device.stats.decode_hits == 1
+        assert device.stats.decode_misses == 1
+
+    def test_distinct_keys_miss(self):
+        device = self._device()
+        device.decode_step_time(MODEL, 4, 777)
+        device.decode_step_time(MODEL, 5, 777)      # batch differs
+        device.decode_step_time(MODEL, 4, 778)      # context differs
+        device.decode_step_time(MODEL, 4, 777, 2)   # devices differ
+        assert device.stats.decode_misses == 4
+        assert device.stats.decode_hits == 0
+
+    def test_prefill_and_decode_do_not_collide(self):
+        device = self._device()
+        decode = device.decode_step_time(MODEL, 1, 512)
+        prefill = device.prefill_time(MODEL, 1, 512)
+        assert decode.seconds != prefill.seconds
+        assert device.stats.prefill_misses == 1
+
+    def test_models_keyed_separately(self):
+        device = self._device()
+        other = get_model("llama3-70b")
+        a = device.decode_step_time(MODEL, 4, 512)
+        b = device.decode_step_time(other, 4, 512)
+        assert a.seconds != b.seconds
+        assert device.stats.decode_misses == 2
+
+    def test_exact_bucket_matches_inner_model(self):
+        inner = AdorDeviceModel(ador_table3())
+        device = CachedDeviceModel(AdorDeviceModel(ador_table3()))
+        for batch, ctx in ((1, 1), (8, 333), (32, 2048)):
+            assert device.decode_step_time(MODEL, batch, ctx).seconds \
+                == inner.decode_step_time(MODEL, batch, ctx).seconds
+            assert device.prefill_time(MODEL, 1, ctx).seconds \
+                == inner.prefill_time(MODEL, 1, ctx).seconds
+
+    def test_rejects_double_wrap_and_bad_bucket(self):
+        device = self._device()
+        with pytest.raises(ValueError):
+            CachedDeviceModel(device)
+        with pytest.raises(ValueError):
+            CachedDeviceModel(AdorDeviceModel(ador_table3()),
+                              context_bucket=0)
+
+    def test_delegates_unknown_attributes(self):
+        device = self._device()
+        assert device.scheduler is device.inner.scheduler
+
+    def test_clear_resets(self):
+        device = self._device()
+        device.decode_step_time(MODEL, 4, 777)
+        device.clear()
+        assert device.cache_info()["decode_entries"] == 0
+        assert device.stats.decode_misses == 0
+
+
+class TestContextBucketing:
+    def test_bucket_snaps_to_nearest_multiple(self):
+        device = CachedDeviceModel(AdorDeviceModel(ador_table3()),
+                                   context_bucket=64)
+        assert device.bucketed_context(1) == 1   # max(1, ...) floor
+        assert device.bucketed_context(31) == 1
+        assert device.bucketed_context(33) == 64
+        assert device.bucketed_context(96) == 128
+        assert device.bucketed_context(95) == 64
+        assert device.bucketed_context(640) == 640
+
+    def test_bucketed_latency_error_bounded(self):
+        """Quantizing the context by B shifts the evaluated point by at
+        most B/2 tokens; for B=64 at kilotoken contexts the latency error
+        stays under a couple of percent."""
+        exact = AdorDeviceModel(ador_table3())
+        bucketed = CachedDeviceModel(AdorDeviceModel(ador_table3()),
+                                     context_bucket=64)
+        for ctx in (500, 811, 1203, 1999, 3017):
+            want = exact.decode_step_time(MODEL, 8, ctx).seconds
+            got = bucketed.decode_step_time(MODEL, 8, ctx).seconds
+            assert abs(got - want) / want < 0.02, ctx
+
+    def test_bucketed_hit_rate_improves(self):
+        exact = CachedDeviceModel(AdorDeviceModel(ador_table3()))
+        coarse = CachedDeviceModel(AdorDeviceModel(ador_table3()),
+                                   context_bucket=64)
+        for ctx in range(900, 1030):
+            exact.decode_step_time(MODEL, 8, ctx)
+            coarse.decode_step_time(MODEL, 8, ctx)
+        assert exact.stats.decode_hits == 0
+        assert coarse.stats.decode_hits > 100
+
+
+class TestFastForwardInterruption:
+    """The burst loop must stop exactly where the plain loop would."""
+
+    def _requests(self, spec):
+        return [Request(request_id=i, arrival_time=a, input_tokens=inp,
+                        output_tokens=out, record_token_times=True)
+                for i, (a, inp, out) in enumerate(spec)]
+
+    def _pair(self, spec, horizon=600.0, max_batch=8):
+        limits = SchedulerLimits(max_batch=max_batch,
+                                 prefill_chunk_tokens=256)
+        runs = []
+        for fast in (True, False):
+            device = _device_for(ador_table3(), sim_cache=fast,
+                                 context_bucket=1)
+            engine = ServingEngine(device, MODEL, limits, fast_forward=fast)
+            runs.append(engine.run(self._requests(spec),
+                                   max_sim_seconds=horizon))
+        return runs
+
+    def test_interrupted_by_arrival(self):
+        # the second request lands mid-way through the first one's decode
+        fast, reference = self._pair(
+            [(0.0, 64, 120), (0.6, 64, 120), (1.1, 64, 40)])
+        assert result_fingerprint(fast) == result_fingerprint(reference)
+        for a, b in zip(fast.finished, reference.finished):
+            assert a.token_times == b.token_times
+
+    def test_interrupted_by_completion(self):
+        # staggered output lengths: every completion ends a burst
+        fast, reference = self._pair(
+            [(0.0, 64, 10), (0.0, 64, 25), (0.0, 64, 60), (0.0, 64, 61)])
+        assert result_fingerprint(fast) == result_fingerprint(reference)
+        for a, b in zip(fast.finished, reference.finished):
+            assert a.token_times == b.token_times
+
+    def test_interrupted_by_horizon(self):
+        fast, reference = self._pair(
+            [(0.0, 64, 5000), (0.0, 64, 5000)], horizon=2.0)
+        assert result_fingerprint(fast) == result_fingerprint(reference)
+        assert fast.unfinished and reference.unfinished
+        assert fast.total_time_s <= 2.0 + 1.0  # one iteration may overrun
+
+    def test_blocked_queue_stays_blocked_through_burst(self):
+        # max_batch=2 keeps a queue; admissions only on completions
+        fast, reference = self._pair(
+            [(0.0, 64, 30), (0.0, 64, 50), (0.05, 64, 30), (0.1, 64, 30)],
+            max_batch=2)
+        assert result_fingerprint(fast) == result_fingerprint(reference)
+
+
+class TestClusterBookkeeping:
+    def test_sorted_stream_is_not_copied(self):
+        requests = steady_requests()
+        assert _sorted_by_arrival(requests) is requests
+
+    def test_unsorted_stream_is_sorted(self):
+        requests = steady_requests()
+        shuffled = list(reversed(requests))
+        ordered = _sorted_by_arrival(shuffled)
+        assert ordered is not shuffled
+        assert [r.request_id for r in ordered] \
+            == [r.request_id for r in requests]
+
+    def test_idle_replicas_keep_zero_clock(self):
+        # one early burst routed by session affinity pins work on one
+        # replica; with least-outstanding all replicas share — here we
+        # just check an idle fleet member is skipped, not advanced
+        requests = [Request(request_id=0, arrival_time=0.0,
+                            input_tokens=64, output_tokens=16)]
+        device = CachedDeviceModel(AdorDeviceModel(ador_table3()))
+        engine = ClusterEngine(device, MODEL, LIMITS, replicas=3,
+                               router="round-robin")
+        result = engine.run(requests)
+        clocks = [r.total_time_s for r in result.replica_results]
+        assert clocks[0] > 0.0
+        assert clocks[1] == 0.0 and clocks[2] == 0.0
+
+    def test_snapshot_cache_invalidated_by_submit(self):
+        from repro.serving.engine import ServingEngine as SE
+        device = CachedDeviceModel(AdorDeviceModel(ador_table3()))
+        from repro.cluster.engine import ReplicaSim
+        replica = ReplicaSim(0, SE(device, MODEL, LIMITS))
+        first = replica.snapshot()
+        assert replica.snapshot() is first  # cached while idle
+        replica.submit(Request(request_id=0, arrival_time=0.0,
+                               input_tokens=8, output_tokens=2))
+        second = replica.snapshot()
+        assert second is not first
+        assert second.queued_requests == 1
+
+
+class TestRequestSlimming:
+    def test_token_times_off_by_default(self):
+        request = Request(request_id=0, arrival_time=0.0, input_tokens=4,
+                          output_tokens=3)
+        request.record_token(1.0)
+        request.record_token(2.0)
+        request.record_token(4.0)
+        assert request.token_times == []
+        assert request.first_token_time == 1.0
+        assert request.last_token_time == 4.0
+        assert request.tbt == pytest.approx(1.5)
+        assert request.finish_time == 4.0
+
+    def test_recording_flag_keeps_full_timeline(self):
+        request = Request(request_id=0, arrival_time=0.0, input_tokens=4,
+                          output_tokens=3, record_token_times=True)
+        for t in (1.0, 2.0, 4.0):
+            request.record_token(t)
+        assert request.token_times == [1.0, 2.0, 4.0]
+        assert request.tbt == pytest.approx(1.5)
+
+    def test_burst_equals_repeated_single_tokens(self):
+        single = Request(request_id=0, arrival_time=0.0, input_tokens=4,
+                         output_tokens=5, record_token_times=True)
+        burst = Request(request_id=1, arrival_time=0.0, input_tokens=4,
+                        output_tokens=5, record_token_times=True)
+        times = [0.5, 0.9, 1.6, 2.0, 2.7]
+        for t in times:
+            single.record_token(t)
+        burst.record_token_burst(times[:2])
+        burst.record_token_burst(times[2:])
+        assert burst.token_times == single.token_times
+        assert burst.tbt == single.tbt
+        assert burst.finish_time == single.finish_time
+        assert burst.state == single.state
+
+    def test_qos_identical_with_and_without_recording(self):
+        requests = steady_requests(count=20)
+        recorded = copy.deepcopy(requests)
+        for request in recorded:
+            request.record_token_times = True
+        device = _device_for(ador_table3(), sim_cache=True,
+                             context_bucket=1)
+        engine = ServingEngine(device, MODEL, LIMITS)
+        slim = engine.run(copy.deepcopy(requests))
+        full = engine.run(recorded)
+        assert compute_qos(slim.finished, slim.total_time_s) \
+            == compute_qos(full.finished, full.total_time_s)
+        assert all(r.token_times == [] for r in slim.finished)
+        assert all(len(r.token_times) == r.generated_tokens
+                   for r in full.finished)

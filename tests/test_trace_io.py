@@ -52,7 +52,10 @@ class TestRoundTrip:
         def run():
             engine = ServingEngine(AdorDeviceModel(ador_table3()), model,
                                    SchedulerLimits(max_batch=32))
-            return engine.run(load_requests(path))
+            requests = load_requests(path)
+            for request in requests:
+                request.record_token_times = True
+            return engine.run(requests)
 
         first, second = run(), run()
         assert first.total_time_s == second.total_time_s
