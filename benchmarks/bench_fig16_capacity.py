@@ -4,6 +4,12 @@ The full serving simulation: Poisson arrivals with the ultrachat-like
 trace, continuous batching, binary search for the highest sustainable
 rate.  Paper headlines: ~23.3 req/s for LLaMA3-8B under the relaxed SLO
 on one ADOR device; strict < relaxed; Yi-34B (2 devices) far lower.
+
+Runs on the fast capacity engine (probe caching, arrival reuse,
+saturation early-abort, one memoized device model shared by all four
+searches) — ``bench_capacity_speed.py`` proves the found rates identical
+to the sequential reference search, and this report regenerates
+byte-identically either way.
 """
 
 from conftest import run_once
@@ -12,6 +18,7 @@ from repro.analysis.tables import format_table
 from repro.core.scheduling import AdorDeviceModel
 from repro.hardware.presets import ador_table3
 from repro.models.zoo import get_model
+from repro.perf.cache import CachedDeviceModel
 from repro.serving.capacity import max_capacity_under_slo
 from repro.serving.dataset import ULTRACHAT_LIKE
 
@@ -23,7 +30,7 @@ SCENARIOS = (
 
 
 def _capacities():
-    device = AdorDeviceModel(ador_table3())
+    device = CachedDeviceModel(AdorDeviceModel(ador_table3()))
     rows = []
     results = {}
     for model_name, devices, strict, relaxed in SCENARIOS:

@@ -44,9 +44,11 @@ def main() -> None:
     for key, value in report.utilization.as_dict().items():
         print(f"  {key}: {value:.2f}")
 
-    # 2) the Fig. 16 experiment: capacity under strict/relaxed SLOs
-    print("\nsearching max capacity under TBT SLOs "
-          "(this runs ~15 simulations)...")
+    # 2) the Fig. 16 experiment: capacity under strict/relaxed SLOs —
+    #    the fast search caches probes, reuses one rescaled arrival
+    #    template and aborts clearly saturated probes early, so the two
+    #    searches below finish in about a second
+    print("\nsearching max capacity under TBT SLOs...")
     device = device_model_for(get_chip("ador"))
     model = get_model("llama3-8b")
     trace = get_trace("ultrachat")

@@ -23,9 +23,11 @@ identical report.
 """
 
 from repro.api.facade import (
+    CapacityReport,
     ClusterReport,
     EndpointOverloaded,
     ServingReport,
+    find_capacity,
     load_experiment,
     run_experiment,
     save_experiment,
@@ -34,6 +36,7 @@ from repro.api.facade import (
 )
 from repro.cluster.router import get_router, list_routers, register_router
 from repro.api.specs import (
+    CapacitySpec,
     DeploymentSpec,
     Experiment,
     WorkloadSpec,
@@ -50,11 +53,14 @@ __all__ = [
     "DeploymentSpec",
     "WorkloadSpec",
     "Experiment",
+    "CapacitySpec",
     "ServingReport",
     "ClusterReport",
+    "CapacityReport",
     "EndpointOverloaded",
     "simulate",
     "simulate_cluster",
+    "find_capacity",
     "get_router",
     "list_routers",
     "register_router",

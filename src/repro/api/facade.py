@@ -17,11 +17,17 @@ reproduces the identical :class:`ServingReport`.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 from dataclasses import dataclass
 
-from repro.api.specs import DeploymentSpec, Experiment, WorkloadSpec
+from repro.api.specs import (
+    CapacitySpec,
+    DeploymentSpec,
+    Experiment,
+    WorkloadSpec,
+)
 from repro.cluster.engine import ClusterEngine
 from repro.cluster.report import ClusterResult, LoadImbalanceStats
 from repro.core.scheduling import device_model_for
@@ -29,6 +35,7 @@ from repro.hardware.chip import ChipSpec
 from repro.models.config import ModelConfig
 from repro.models.zoo import get_model
 from repro.perf.cache import CachedDeviceModel
+from repro.serving.capacity import CapacityResult
 from repro.serving.engine import SimulationResult
 from repro.serving.policies import get_policy
 from repro.serving.qos import QoSReport, compute_qos
@@ -146,6 +153,131 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
         result=result,
         qos=qos,
         utilization=util,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Capacity search                                                        #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Unified outcome of one capacity search (paper Fig. 16).
+
+    The capacity analogue of :class:`ServingReport`: the highest
+    sustainable Poisson arrival rate under the spec'd SLO, the QoS
+    measured at that rate, and the probe log of the search that found
+    it.
+    """
+
+    deployment: DeploymentSpec
+    workload: WorkloadSpec
+    capacity_spec: CapacitySpec
+    chip: ChipSpec
+    model: ModelConfig
+    capacity: CapacityResult
+
+    @property
+    def max_requests_per_s(self) -> float:
+        return self.capacity.max_requests_per_s
+
+    @property
+    def qos(self) -> QoSReport:
+        return self.capacity.qos_at_max
+
+    def summary_lines(self) -> list[str]:
+        spec = self.capacity_spec
+        qos = self.qos
+        probes = self.capacity.probes
+        aborted = sum(1 for probe in probes if probe.aborted)
+        slo = f"TBT p95 <= {spec.slo_tbt_s * 1e3:g} ms" \
+            if spec.percentile == "p95" \
+            else f"TBT {spec.percentile} <= {spec.slo_tbt_s * 1e3:g} ms"
+        if spec.slo_ttft_s is not None:
+            slo += f", TTFT <= {spec.slo_ttft_s * 1e3:g} ms"
+        return [
+            f"capacity of {self.chip.name} serving {self.model.name} "
+            f"({self.deployment.num_devices} device(s), {slo}, "
+            f"{self.workload.num_requests} requests/probe):",
+            f"  max sustainable rate : "
+            f"{self.capacity.max_requests_per_s:.2f} req/s",
+            f"  TTFT p95 at max      : {qos.ttft_p95_s * 1e3:.1f} ms",
+            f"  TBT  p95 at max      : {qos.tbt_p95_s * 1e3:.2f} ms",
+            f"  throughput at max    : {qos.tokens_per_s:,.0f} tokens/s",
+            f"  probes               : {len(probes)} "
+            f"({aborted} aborted early, "
+            f"{self.capacity.simulations} simulations)",
+        ]
+
+    def summary(self) -> str:
+        return "\n".join(self.summary_lines())
+
+
+def find_capacity(deployment: DeploymentSpec, workload: WorkloadSpec,
+                  capacity: CapacitySpec | None = None,
+                  max_sim_seconds: float = 600.0, *,
+                  sim_cache: bool = True,
+                  context_bucket: int = 1,
+                  pool=None, **overrides) -> CapacityReport:
+    """Search the highest SLO-compliant arrival rate for a deployment.
+
+    ``capacity`` carries the SLO and search knobs (keyword
+    ``overrides`` replace individual fields, e.g.
+    ``find_capacity(dep, wl, slo_tbt_s=0.025)``).  The workload's
+    ``rate_per_s`` is ignored — its trace, request count and seed
+    define the probe workload.  The endpoint's scheduler limits follow
+    the capacity engine's memory-derived admission policy (paper
+    Fig. 16), not ``deployment.max_batch``.
+
+    ``pool`` accepts a persistent
+    :class:`repro.serving.capacity.CapacityProbePool` so the searches
+    of a sweep share warm worker caches.
+    """
+    from repro.serving.capacity import max_capacity_under_slo
+
+    if deployment.replicas > 1:
+        raise ValueError(
+            "capacity search simulates a single endpoint; "
+            "set replicas=1 (scale the found rate by the fleet size)")
+    if deployment.batching != "continuous":
+        # the capacity engine is iteration-faithful only for continuous
+        # batching; a capacity figure silently measured under a
+        # different policy than the spec declares would be a lie
+        raise ValueError(
+            f"capacity search requires continuous batching, "
+            f"got {deployment.batching!r}")
+    if overrides:
+        base = capacity if capacity is not None else CapacitySpec()
+        capacity = dataclasses.replace(base, **overrides)
+    elif capacity is None:
+        capacity = CapacitySpec()
+    chip = deployment.chip_spec()
+    model = get_model(deployment.model)
+    device = _device_for(chip, sim_cache, context_bucket)
+    result = max_capacity_under_slo(
+        device, model, workload.trace_config(),
+        slo_tbt_s=capacity.slo_tbt_s,
+        slo_ttft_s=capacity.slo_ttft_s,
+        num_devices=deployment.num_devices,
+        request_count=workload.num_requests,
+        seed=workload.seed,
+        percentile=capacity.percentile,
+        rate_bounds=(capacity.rate_low, capacity.rate_high),
+        iterations=capacity.iterations,
+        max_sim_seconds=max_sim_seconds,
+        reuse_arrivals=capacity.reuse_arrivals,
+        early_abort=capacity.early_abort,
+        parallel_probes=capacity.parallel_probes,
+        pool=pool,
+        sim_cache=sim_cache,
+    )
+    return CapacityReport(
+        deployment=deployment,
+        workload=workload,
+        capacity_spec=capacity,
+        chip=chip,
+        model=model,
+        capacity=result,
     )
 
 
@@ -272,10 +404,21 @@ def save_experiment(experiment: Experiment,
 def run_experiment(source: Experiment | str | pathlib.Path, *,
                    sim_cache: bool = True,
                    context_bucket: int = 1
-                   ) -> ServingReport | ClusterReport:
-    """Execute an :class:`Experiment` (or a path to one) end-to-end."""
+                   ) -> "ServingReport | ClusterReport | CapacityReport":
+    """Execute an :class:`Experiment` (or a path to one) end-to-end.
+
+    An experiment with a ``capacity`` section runs the SLO-capacity
+    search and returns a :class:`CapacityReport`; otherwise the fixed-
+    rate simulation runs as before.
+    """
     experiment = source if isinstance(source, Experiment) \
         else load_experiment(source)
+    if experiment.capacity is not None:
+        return find_capacity(experiment.deployment, experiment.workload,
+                             experiment.capacity,
+                             max_sim_seconds=experiment.max_sim_seconds,
+                             sim_cache=sim_cache,
+                             context_bucket=context_bucket)
     return simulate(experiment.deployment, experiment.workload,
                     max_sim_seconds=experiment.max_sim_seconds,
                     sim_cache=sim_cache, context_bucket=context_bucket)

@@ -321,17 +321,95 @@ class DeploymentSpec:
 
 
 # --------------------------------------------------------------------- #
+# Capacity search                                                        #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class CapacitySpec:
+    """What "capacity" means for an experiment: the SLO and the search.
+
+    Attached to an :class:`Experiment`, it turns ``run_experiment`` /
+    ``repro run`` into a Fig. 16-style capacity search: find the highest
+    Poisson arrival rate (within ``rate_low..rate_high``, ``iterations``
+    bisection steps) whose simulated QoS still meets the TBT (and
+    optionally TTFT) SLO at ``percentile``.  The workload spec's
+    ``rate_per_s`` is ignored — the rate is what's being searched for.
+
+    ``early_abort``, ``reuse_arrivals`` and ``parallel_probes`` are the
+    capacity engine's speed knobs (see
+    :func:`repro.serving.capacity.max_capacity_under_slo`); all of them
+    leave the found rate identical to the sequential reference search.
+    """
+
+    slo_tbt_s: float = 0.050
+    slo_ttft_s: float | None = None
+    percentile: str = "p95"
+    rate_low: float = 0.25
+    rate_high: float = 256.0
+    iterations: int = 9
+    early_abort: bool = True
+    reuse_arrivals: bool = True
+    parallel_probes: int = 1
+
+    _PERCENTILES = ("mean", "p50", "p95", "p99")
+
+    def __post_init__(self) -> None:
+        if self.slo_tbt_s <= 0:
+            raise ValueError("slo_tbt_s must be positive")
+        if self.slo_ttft_s is not None and self.slo_ttft_s <= 0:
+            raise ValueError("slo_ttft_s must be positive")
+        if self.percentile not in self._PERCENTILES:
+            raise ValueError(
+                f"unknown percentile {self.percentile!r}; "
+                f"supported: {', '.join(self._PERCENTILES)}")
+        if not 0 < self.rate_low < self.rate_high:
+            raise ValueError("need 0 < rate_low < rate_high")
+        if self.iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        if self.parallel_probes < 1:
+            raise ValueError("parallel_probes must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "slo_tbt_s": self.slo_tbt_s,
+            "slo_ttft_s": self.slo_ttft_s,
+            "percentile": self.percentile,
+            "rate_low": self.rate_low,
+            "rate_high": self.rate_high,
+            "iterations": self.iterations,
+            "early_abort": self.early_abort,
+            "reuse_arrivals": self.reuse_arrivals,
+            "parallel_probes": self.parallel_probes,
+        }
+
+    _FIELDS = frozenset(
+        ("slo_tbt_s", "slo_ttft_s", "percentile", "rate_low", "rate_high",
+         "iterations", "early_abort", "reuse_arrivals", "parallel_probes"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapacitySpec":
+        _require_mapping(data, "capacity")
+        _reject_unknown_keys(data, cls._FIELDS, "capacity")
+        return cls(**{key: data[key] for key in cls._FIELDS if key in data})
+
+
+# --------------------------------------------------------------------- #
 # Experiment = deployment + workload + horizon                           #
 # --------------------------------------------------------------------- #
 
 @dataclass(frozen=True)
 class Experiment:
-    """A complete, runnable, serializable experiment description."""
+    """A complete, runnable, serializable experiment description.
+
+    With a ``capacity`` section the experiment describes a capacity
+    search instead of a single fixed-rate simulation.
+    """
 
     deployment: DeploymentSpec
     workload: WorkloadSpec
     max_sim_seconds: float = 600.0
     name: str = ""
+    capacity: CapacitySpec | None = None
 
     def __post_init__(self) -> None:
         if self.max_sim_seconds <= 0:
@@ -345,18 +423,23 @@ class Experiment:
         }
         if self.name:
             data["name"] = self.name
+        if self.capacity is not None:
+            data["capacity"] = self.capacity.to_dict()
         return data
 
     _FIELDS = frozenset(
-        ("deployment", "workload", "max_sim_seconds", "name"))
+        ("deployment", "workload", "max_sim_seconds", "name", "capacity"))
 
     @classmethod
     def from_dict(cls, data: dict) -> "Experiment":
         _require_mapping(data, "experiment")
         _reject_unknown_keys(data, cls._FIELDS, "experiment")
+        capacity = data.get("capacity")
         return cls(
             deployment=DeploymentSpec.from_dict(data.get("deployment", {})),
             workload=WorkloadSpec.from_dict(data.get("workload", {})),
             max_sim_seconds=data.get("max_sim_seconds", 600.0),
             name=data.get("name", ""),
+            capacity=CapacitySpec.from_dict(capacity)
+            if capacity is not None else None,
         )

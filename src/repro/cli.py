@@ -6,6 +6,7 @@ Five subcommands cover the library's main entry points:
 * ``evaluate`` — prefill/decode latency of a model on a chip preset;
 * ``search``   — run the ADOR architecture search (Fig. 9);
 * ``serve``    — simulate a serving endpoint and report QoS (Fig. 14b);
+* ``capacity`` — search the max sustainable rate under an SLO (Fig. 16);
 * ``run``      — execute a declarative ``experiment.json`` end-to-end.
 
 Chips resolve by name through :mod:`repro.hardware.registry`, so presets
@@ -21,9 +22,11 @@ import warnings
 
 from repro.analysis.tables import format_table
 from repro.api import (
+    CapacitySpec,
     DeploymentSpec,
     EndpointOverloaded,
     WorkloadSpec,
+    find_capacity,
     load_experiment,
     run_experiment,
     simulate,
@@ -40,6 +43,7 @@ from repro.hardware.area import AreaModel
 from repro.hardware.power import PowerModel
 from repro.hardware.registry import CHIP_REGISTRY, get_chip, list_chips
 from repro.models.zoo import get_model, list_models
+from repro.serving.capacity import EndpointUnservable
 
 
 def __getattr__(name: str):
@@ -156,6 +160,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    try:
+        deployment = DeploymentSpec(
+            chip=args.chip,
+            model=args.model,
+            num_devices=args.devices,
+        )
+        workload = WorkloadSpec(
+            trace=args.trace,
+            num_requests=args.requests,
+            seed=args.seed,
+        )
+        capacity = CapacitySpec(
+            slo_tbt_s=args.slo_tbt_ms / 1e3,
+            slo_ttft_s=None if args.slo_ttft_ms is None
+            else args.slo_ttft_ms / 1e3,
+            percentile=args.percentile,
+            rate_low=args.rate_low,
+            rate_high=args.rate_high,
+            iterations=args.iterations,
+            early_abort=not args.no_early_abort,
+            reuse_arrivals=not args.no_reuse_arrivals,
+            parallel_probes=args.parallel_probes,
+        )
+        report = find_capacity(deployment, workload, capacity,
+                               sim_cache=not args.no_sim_cache)
+    except EndpointUnservable as exc:
+        print(f"no capacity found — {_exc_message(exc)}")
+        return 1
+    except (KeyError, ValueError) as exc:
+        print(f"error: {_exc_message(exc)}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         experiment = load_experiment(args.experiment)
@@ -176,6 +216,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                 context_bucket=args.context_bucket)
     except EndpointOverloaded as exc:
         print(f"no requests finished — {exc}")
+        return 1
+    except EndpointUnservable as exc:
+        # a capacity experiment whose endpoint cannot serve even the
+        # minimum probed rate — same one-liner the capacity command
+        # prints, not a traceback (other RuntimeErrors, e.g. a broken
+        # worker pool, must still surface loudly)
+        print(f"no capacity found — {_exc_message(exc)}")
         return 1
     except (KeyError, ValueError, OSError, TypeError) as exc:
         # bad chip/trace/policy name, malformed spec, unreadable file —
@@ -251,6 +298,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "buckets trade a small latency error for "
                             "faster sweeps")
 
+    capacity = sub.add_parser(
+        "capacity",
+        help="search the max sustainable request rate under an SLO")
+    capacity.add_argument("--model", default="llama3-8b")
+    capacity.add_argument("--chip", choices=list_chips(), default="ador")
+    capacity.add_argument("--devices", type=int, default=1)
+    capacity.add_argument("--trace", default="ultrachat",
+                          help="workload trace name (e.g. ultrachat, "
+                               "fixed-512x128)")
+    capacity.add_argument("--requests", type=int, default=200,
+                          help="requests simulated per probed rate")
+    capacity.add_argument("--seed", type=int, default=7)
+    capacity.add_argument("--slo-tbt-ms", type=float, default=50.0,
+                          help="TBT SLO in milliseconds")
+    capacity.add_argument("--slo-ttft-ms", type=float, default=None,
+                          help="optional TTFT SLO in milliseconds")
+    capacity.add_argument("--percentile", default="p95",
+                          choices=["mean", "p50", "p95", "p99"],
+                          help="QoS percentile the SLO applies to")
+    capacity.add_argument("--rate-low", type=float, default=0.25)
+    capacity.add_argument("--rate-high", type=float, default=256.0)
+    capacity.add_argument("--iterations", type=int, default=9,
+                          help="bisection steps (rate resolution)")
+    capacity.add_argument("--parallel-probes", type=int, default=1,
+                          help="speculative probes per bisection round "
+                               "(2-3; worker processes, identical found "
+                               "rate)")
+    capacity.add_argument("--no-early-abort", action="store_true",
+                          help="always simulate saturated probes to the "
+                               "full horizon (identical found rate, "
+                               "slower)")
+    capacity.add_argument("--no-reuse-arrivals", action="store_true",
+                          help="regenerate the workload per probed rate "
+                               "instead of rescaling one template "
+                               "(bit-identical either way, slower)")
+    capacity.add_argument("--no-sim-cache", action="store_true",
+                          help="disable device-model memoization "
+                               "(bit-identical results, reference speed)")
+
     run = sub.add_parser(
         "run", help="execute a declarative experiment.json file")
     run.add_argument("experiment", help="path to an experiment JSON file")
@@ -274,6 +360,7 @@ def main(argv: list | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "search": _cmd_search,
         "serve": _cmd_serve,
+        "capacity": _cmd_capacity,
         "run": _cmd_run,
     }
     return handlers[args.command](args)

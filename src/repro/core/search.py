@@ -51,16 +51,28 @@ class SearchResult:
 
 
 class AdorSearch:
-    """Deterministic grid search over the ADOR template."""
+    """Deterministic grid search over the ADOR template.
+
+    ``memoize`` (default) caches the two pure sub-searches that the
+    candidate loop would otherwise recompute for every ``sa_size`` and
+    every budget-relaxation iteration: :meth:`choose_mt_lanes` depends
+    only on ``(tree_size, cores)`` and :meth:`local_memory_requirement`
+    on nothing but the request, so caching them changes no result —
+    ``bench_table3_dse.py`` measures the speedup and asserts identity.
+    """
 
     def __init__(self, request: SearchRequest,
                  area_model: AreaModel | None = None,
-                 power_model: PowerModel | None = None) -> None:
+                 power_model: PowerModel | None = None,
+                 memoize: bool = True) -> None:
         self.request = request
         self.area_model = area_model or AreaModel()
         self.power_model = power_model or PowerModel()
         self.template = AdorTemplate(request.vendor)
         self.models = [get_model(name) for name in request.model_names]
+        self.memoize = memoize
+        self._lane_cache: dict[tuple[int, int], int] = {}
+        self._local_memory_cache: float | None = None
 
     # ------------------------------------------------------------------ #
     # Step 1a: MAC-tree lanes                                             #
@@ -73,6 +85,8 @@ class AdorSearch:
         the MHA / GQA / MQA reference mechanisms, stop adding lanes once
         returns vanish (within a 2 % tolerance).
         """
+        if self.memoize and (tree_size, cores) in self._lane_cache:
+            return self._lane_cache[(tree_size, cores)]
         vendor = self.request.vendor
         slos = self.request.slos
         references = [get_model(name) for name in _LANE_REFERENCE_MODELS]
@@ -98,10 +112,13 @@ class AdorSearch:
 
         timings = {lanes: attention_seconds(lanes) for lanes in _LANE_CANDIDATES}
         best = min(timings.values())
+        chosen = _LANE_CANDIDATES[-1]
         for lanes in _LANE_CANDIDATES:
             if timings[lanes] <= best * 1.02:
-                return lanes
-        return _LANE_CANDIDATES[-1]
+                chosen = lanes
+                break
+        self._lane_cache[(tree_size, cores)] = chosen
+        return chosen
 
     # ------------------------------------------------------------------ #
     # Step 2: memory sizing                                               #
@@ -116,11 +133,14 @@ class AdorSearch:
         vocabulary (Section V-B), and 25 % headroom covers double
         buffering.
         """
+        if self.memoize and self._local_memory_cache is not None:
+            return self._local_memory_cache
         worst = 0.0
         for model in self.models:
             report = peak_local_memory(model, _FOOTPRINT_BATCH)
             worst = max(worst, report.peak_excluding_lm_head)
-        return worst * 1.25
+        self._local_memory_cache = worst * 1.25
+        return self._local_memory_cache
 
     # ------------------------------------------------------------------ #
     # Step 3: interconnect sizing                                         #

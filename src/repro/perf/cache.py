@@ -89,6 +89,10 @@ class CachedDeviceModel(DeviceModel):
     def __getattr__(self, name: str):
         # only called when normal lookup fails: delegate e.g.
         # TspModel.devices_required or AdorDeviceModel.scheduler
+        if name == "inner":
+            # during unpickling the instance dict is still empty;
+            # delegating would recurse on self.inner forever
+            raise AttributeError(name)
         return getattr(self.inner, name)
 
     def bucketed_context(self, context_len: int) -> int:

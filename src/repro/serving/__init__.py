@@ -16,12 +16,26 @@ from repro.serving.request import Request, RequestState
 from repro.serving.dataset import ChatTraceConfig, ULTRACHAT_LIKE, sample_trace
 from repro.serving.generator import (
     OnOffRequestGenerator,
+    PoissonArrivalTemplate,
     PoissonRequestGenerator,
 )
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
-from repro.serving.engine import ServingEngine, SimulationResult
+from repro.serving.engine import (
+    InstabilityMonitor,
+    Saturated,
+    ServingEngine,
+    SimulationResult,
+)
 from repro.serving.qos import QoSReport, compute_qos
-from repro.serving.capacity import CapacityResult, max_capacity_under_slo
+from repro.serving.capacity import (
+    CapacityProbePool,
+    CapacityResult,
+    EndpointUnservable,
+    ProbeOutcome,
+    max_capacity_under_slo,
+    probe_pool,
+    reference_capacity_search,
+)
 from repro.serving.utilization import UtilizationReport, utilization_report
 from repro.serving.policies import (
     BatchingPolicy,
@@ -66,15 +80,23 @@ __all__ = [
     "ULTRACHAT_LIKE",
     "sample_trace",
     "OnOffRequestGenerator",
+    "PoissonArrivalTemplate",
     "PoissonRequestGenerator",
     "ContinuousBatchingScheduler",
     "SchedulerLimits",
+    "InstabilityMonitor",
+    "Saturated",
     "ServingEngine",
     "SimulationResult",
     "QoSReport",
     "compute_qos",
+    "CapacityProbePool",
     "CapacityResult",
+    "EndpointUnservable",
+    "ProbeOutcome",
     "max_capacity_under_slo",
+    "probe_pool",
+    "reference_capacity_search",
     "UtilizationReport",
     "utilization_report",
 ]

@@ -1,25 +1,97 @@
 """Maximum capacity under an SLO (paper Fig. 16).
 
-Binary-searches the highest Poisson arrival rate at which the simulated
+Searches for the highest Poisson arrival rate at which the simulated
 endpoint still meets its TBT (and optionally TTFT) SLO.  The paper's
 headline: the ADOR design sustains ~23 requests/sec serving LLaMA3-8B
 under a relaxed SLO on one device.
+
+One capacity point costs a dozen saturated serving simulations, and a
+capacity-vs-SLO or capacity-vs-design sweep multiplies that, so the
+search is engineered to waste none of them.  Five coordinated
+optimizations returning **identical found rates** to the sequential
+reference search (:func:`reference_capacity_search`) — the first,
+second, fourth and fifth exactly by construction, the early-abort by a
+strictly-conservative heuristic whose per-probe verdict parity is
+machine-checked (``early_abort="verify"``) and committed at 100% by
+``benchmarks/bench_capacity_speed.py``:
+
+* **probe caching + lazy endpoints** — every probe outcome is cached by
+  rate, so the final best-rate re-simulation and the bracket-endpoint
+  checks reuse work instead of repeating it.  The low endpoint (the
+  single most expensive probe: its horizon scales as ``1/rate``) is
+  only simulated when no midpoint was feasible — by bracketing
+  monotonicity its verdict is implied otherwise.
+* **request-set reuse** — the workload is generated once
+  (:class:`~repro.serving.generator.PoissonArrivalTemplate`) and the
+  inter-arrival gaps are rescaled per probed rate, draw-for-draw
+  bit-identical to per-probe regeneration with the same seed, with
+  common-random-numbers variance reduction for free.
+* **saturation early-abort** — clearly saturated probes are cut short
+  by an online :class:`~repro.serving.engine.InstabilityMonitor`; the
+  abort condition strictly implies the full run would fail the final
+  stability check, and ``early_abort="verify"`` proves the verdict
+  parity per probe by also running the full simulation.
+* **speculative parallel bracketing** — ``parallel_probes=2..3`` probes
+  the midpoint plus the next-level midpoints of both possible halves in
+  worker processes, consuming two bisection steps per round while
+  preserving the exact float bracket evolution of sequential bisection.
+* **shared sweep caches** — probes share one memoized
+  :class:`~repro.perf.cache.CachedDeviceModel` (arrival reuse makes the
+  same decode contexts recur across probes), in-process and inside the
+  workers of a persistent :class:`~repro.analysis.sweep.SweepPool`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.sweep import SweepPool
 from repro.models.config import ModelConfig
 from repro.models.kv_cache import max_batch_for_memory
 from repro.perf.baselines import DeviceModel
+from repro.perf.cache import CachedDeviceModel
 from repro.serving.dataset import ChatTraceConfig
-from repro.serving.engine import ServingEngine, SimulationResult
-from repro.serving.generator import PoissonRequestGenerator
+from repro.serving.engine import (
+    InstabilityMonitor,
+    ServingEngine,
+    SimulationResult,
+    ttft_is_stable,
+)
+from repro.serving.generator import (
+    PoissonArrivalTemplate,
+    PoissonRequestGenerator,
+)
 from repro.serving.qos import QoSReport, compute_qos
 from repro.serving.scheduler import SchedulerLimits
+
+
+class EndpointUnservable(RuntimeError):
+    """The endpoint cannot finish a single request even at the minimum
+    probed rate — there is no capacity to report.  Subclasses
+    ``RuntimeError`` for backward compatibility, but callers (e.g. the
+    CLI) should catch this type so infrastructure failures that also
+    raise ``RuntimeError`` are not mislabeled as a capacity verdict."""
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """Outcome of one capacity probe (one simulated arrival rate)."""
+
+    rate: float
+    feasible: bool
+    qos: QoSReport | None
+    finished: int
+    total_time_s: float
+    #: the InstabilityMonitor cut this probe short
+    aborted: bool = False
+    #: only set under ``early_abort="verify"`` on aborted probes: did the
+    #: full simulation reach the same feasibility verdict?
+    abort_verdict_matches: bool | None = None
 
 
 @dataclass(frozen=True)
@@ -31,6 +103,22 @@ class CapacityResult:
     slo_tbt_s: float
     slo_ttft_s: float | None
     probes: tuple
+    #: serving simulations actually run (probe cache hits excluded)
+    simulations: int = 0
+
+
+def _scheduler_limits(device: DeviceModel, model: ModelConfig,
+                      trace: ChatTraceConfig,
+                      num_devices: int) -> SchedulerLimits:
+    kv_budget = device.chip.dram.size_bytes * num_devices * 0.9 \
+        - model.param_bytes
+    return SchedulerLimits(
+        max_batch=max(1, max_batch_for_memory(
+            model, int(trace.mean_input + trace.mean_output),
+            device.chip.dram.size_bytes, num_devices)),
+        prefill_chunk_tokens=512,
+        kv_budget_bytes=max(kv_budget, 1.0),
+    )
 
 
 def _simulate_rate(
@@ -42,43 +130,31 @@ def _simulate_rate(
     request_count: int,
     seed: int,
     max_sim_seconds: float,
+    workload: PoissonArrivalTemplate | None = None,
+    monitor: InstabilityMonitor | None = None,
 ) -> tuple[SimulationResult, QoSReport | None]:
-    rng = np.random.default_rng(seed)
-    generator = PoissonRequestGenerator(trace, rate, rng)
-    requests = generator.generate(request_count)
+    if workload is not None:
+        requests = workload.requests_at(rate)
+    else:
+        rng = np.random.default_rng(seed)
+        generator = PoissonRequestGenerator(trace, rate, rng)
+        requests = generator.generate(request_count)
     # the horizon must cover the arrival span plus a generous drain
     max_sim_seconds = max(max_sim_seconds,
                           1.5 * request_count / rate + 120.0)
-    kv_budget = device.chip.dram.size_bytes * num_devices * 0.9 \
-        - model.param_bytes
-    limits = SchedulerLimits(
-        max_batch=max(1, max_batch_for_memory(
-            model, int(trace.mean_input + trace.mean_output),
-            device.chip.dram.size_bytes, num_devices)),
-        prefill_chunk_tokens=512,
-        kv_budget_bytes=max(kv_budget, 1.0),
-    )
+    limits = _scheduler_limits(device, model, trace, num_devices)
     engine = ServingEngine(device, model, limits, num_devices)
-    result = engine.run(requests, max_sim_seconds=max_sim_seconds)
+    result = engine.run(requests, max_sim_seconds=max_sim_seconds,
+                        monitor=monitor)
     if not result.finished:
         return result, None
     return result, compute_qos(result.finished, result.total_time_s)
 
 
 def _queue_is_stable(result: SimulationResult) -> bool:
-    """Detect an unbounded backlog: TTFT must not balloon over the run.
-
-    At a sustainable rate TTFT is roughly flat; past saturation every
-    later request waits behind a growing queue, so the second half's
-    median TTFT races away from the first half's.
-    """
-    finished = sorted(result.finished, key=lambda r: r.arrival_time)
-    if len(finished) < 8:
-        return True
-    half = len(finished) // 2
-    first = float(np.median([r.ttft for r in finished[:half]]))
-    second = float(np.median([r.ttft for r in finished[half:]]))
-    return second <= max(2.5 * first, 0.25)
+    """The final stability verdict (see
+    :func:`~repro.serving.engine.ttft_is_stable`)."""
+    return ttft_is_stable(result.finished)
 
 
 def _meets(result: SimulationResult, qos: QoSReport | None,
@@ -98,6 +174,204 @@ def _meets(result: SimulationResult, qos: QoSReport | None,
     return True
 
 
+# --------------------------------------------------------------------- #
+# Probe execution (in-process and in SweepPool workers)                  #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class _ProbeContext:
+    """Everything a probe needs, picklable for worker processes.
+
+    ``device`` is ``None`` in payloads destined for a
+    :class:`CapacityProbePool`, whose workers substitute the shared
+    device installed at pool init.
+    """
+
+    device: DeviceModel | None
+    model: ModelConfig
+    trace: ChatTraceConfig
+    num_devices: int
+    request_count: int
+    seed: int
+    max_sim_seconds: float
+    slo_tbt_s: float
+    slo_ttft_s: float | None
+    percentile: str
+    workload: PoissonArrivalTemplate | None
+    early_abort: bool | str
+
+
+def _run_probe(ctx: _ProbeContext, rate: float) -> ProbeOutcome:
+    """One probe: simulate, judge feasibility, optionally verify parity."""
+    monitor = InstabilityMonitor(ctx.request_count) if ctx.early_abort \
+        else None
+    result, qos = _simulate_rate(
+        ctx.device, ctx.model, ctx.trace, rate, ctx.num_devices,
+        ctx.request_count, ctx.seed, ctx.max_sim_seconds,
+        workload=ctx.workload, monitor=monitor)
+    feasible = _meets(result, qos, ctx.request_count, rate, ctx.slo_tbt_s,
+                      ctx.slo_ttft_s, ctx.percentile)
+    parity = None
+    if ctx.early_abort == "verify" and result.saturated is not None:
+        full, full_qos = _simulate_rate(
+            ctx.device, ctx.model, ctx.trace, rate, ctx.num_devices,
+            ctx.request_count, ctx.seed, ctx.max_sim_seconds,
+            workload=ctx.workload)
+        parity = _meets(full, full_qos, ctx.request_count, rate,
+                        ctx.slo_tbt_s, ctx.slo_ttft_s,
+                        ctx.percentile) == feasible
+    return ProbeOutcome(
+        rate=rate,
+        feasible=feasible,
+        qos=qos,
+        finished=len(result.finished),
+        total_time_s=result.total_time_s,
+        aborted=result.saturated is not None,
+        abort_verdict_matches=parity,
+    )
+
+
+#: Worker-side probe context: one slot per worker process, replaced when
+#: a task for a different search arrives.  Reusing the first-unpickled
+#: context keeps the worker's CachedDeviceModel warm across every probe
+#: of a search, which is exactly when arrival reuse makes decode
+#: operating points recur.
+_WORKER_CONTEXT: dict = {"key": None, "ctx": None}
+
+#: Device installed once per worker by :func:`probe_pool`'s initializer —
+#: shared by every probe of every search run on that pool, so its
+#: memoization cache stays warm across the whole capacity study.
+_WORKER_DEVICE: list = [None]
+
+_CONTEXT_COUNTER = itertools.count()
+
+
+def _install_worker_device(device: DeviceModel) -> None:
+    if not isinstance(device, CachedDeviceModel):
+        device = CachedDeviceModel(device)
+    _WORKER_DEVICE[0] = device
+
+
+class CapacityProbePool(SweepPool):
+    """A :class:`~repro.analysis.sweep.SweepPool` for capacity probes.
+
+    The workers are initialized once with a shared memoized device
+    model, so probe tasks ship only the (small) per-search context and
+    every probe of every search warms the same cache.  Reusable across
+    the searches of a whole capacity study as long as they target the
+    same device.
+    """
+
+    def __init__(self, device: DeviceModel, workers: int = 3) -> None:
+        super().__init__(workers, initializer=_install_worker_device,
+                         initargs=(device,))
+        # the unwrapped device the workers were initialized with: probes
+        # for any other device must be rejected, not silently run on
+        # this one
+        self._device = getattr(device, "inner", device)
+
+    def check_device(self, device: DeviceModel) -> None:
+        """Reject probes whose device differs from the workers'."""
+        if getattr(device, "inner", device) is not self._device:
+            raise ValueError(
+                "this CapacityProbePool was initialized for a different "
+                "device; build the pool with probe_pool(device) from the "
+                "same device object the search uses")
+
+
+def probe_pool(device: DeviceModel, workers: int = 3) -> CapacityProbePool:
+    """A persistent probe pool sharing one warm device model."""
+    return CapacityProbePool(device, workers)
+
+
+def _probe_task(payload: tuple) -> ProbeOutcome:
+    key, ctx, rate = payload
+    if _WORKER_CONTEXT["key"] != key:
+        _WORKER_CONTEXT["key"] = key
+        if ctx.device is None:
+            # pool workers hold the shared device installed at init
+            ctx = dataclasses.replace(ctx, device=_WORKER_DEVICE[0])
+            assert ctx.device is not None, \
+                "probe pool worker has no installed device"
+        _WORKER_CONTEXT["ctx"] = ctx
+    return _run_probe(_WORKER_CONTEXT["ctx"], rate)
+
+
+class _ProbeRunner:
+    """Runs, caches and records the probes of one capacity search."""
+
+    def __init__(self, ctx: _ProbeContext, pool: SweepPool | None) -> None:
+        self.ctx = ctx
+        self.pool = pool
+        self.key = ("capacity", os.getpid(), next(_CONTEXT_COUNTER))
+        self.outcomes: dict[float, ProbeOutcome] = {}
+        self.simulations = 0
+
+    @property
+    def record(self) -> tuple:
+        return tuple(self.outcomes.values())
+
+    def _count(self, outcome: ProbeOutcome) -> ProbeOutcome:
+        # verify mode re-simulates every aborted probe to the full
+        # horizon; `simulations` reports what actually ran
+        self.simulations += 2 if (self.ctx.early_abort == "verify"
+                                  and outcome.aborted) else 1
+        return outcome
+
+    def probe(self, rate: float) -> ProbeOutcome:
+        cached = self.outcomes.get(rate)
+        if cached is not None:
+            return cached
+        outcome = self._count(_run_probe(self.ctx, rate))
+        self.outcomes[rate] = outcome
+        return outcome
+
+    def probe_many(self, rates: list) -> dict[float, ProbeOutcome]:
+        """Probe several candidate rates, in parallel when pooled."""
+        fresh = [r for r in rates if r not in self.outcomes]
+        if self.pool is not None and len(fresh) > 1:
+            ctx = self.ctx
+            if isinstance(self.pool, CapacityProbePool):
+                # workers hold the shared device; don't re-pickle ours —
+                # but only if it IS ours
+                self.pool.check_device(ctx.device)
+                ctx = dataclasses.replace(ctx, device=None)
+            payloads = [(self.key, ctx, rate) for rate in fresh]
+            for payload, outcome in self.pool.sweep(payloads, _probe_task):
+                self.outcomes[payload[2]] = self._count(outcome)
+        else:
+            for rate in fresh:
+                self.probe(rate)
+        return {rate: self.outcomes[rate] for rate in rates}
+
+    def full_qos(self, rate: float) -> QoSReport:
+        """The full-run QoS of a *feasible* probed rate.
+
+        Feasible probes are never aborted (the abort condition implies
+        infeasibility), so the cached outcome already holds the QoS the
+        pre-optimization search recomputed with a final simulation.
+        """
+        outcome = self.outcomes[rate]
+        assert outcome.qos is not None and not outcome.aborted
+        return outcome.qos
+
+    def full_outcome(self, rate: float) -> QoSReport | None:
+        """Full-run QoS of any rate, re-simulating if the probe aborted."""
+        outcome = self.outcomes.get(rate)
+        if outcome is not None and not outcome.aborted:
+            return outcome.qos
+        _, qos = _simulate_rate(
+            self.ctx.device, self.ctx.model, self.ctx.trace, rate,
+            self.ctx.num_devices, self.ctx.request_count, self.ctx.seed,
+            self.ctx.max_sim_seconds, workload=self.ctx.workload)
+        self.simulations += 1
+        return qos
+
+
+# --------------------------------------------------------------------- #
+# The search                                                             #
+# --------------------------------------------------------------------- #
+
 def max_capacity_under_slo(
     device: DeviceModel,
     model: ModelConfig,
@@ -111,36 +385,199 @@ def max_capacity_under_slo(
     rate_bounds: tuple = (0.25, 256.0),
     iterations: int = 9,
     max_sim_seconds: float = 600.0,
+    *,
+    reuse_arrivals: bool = True,
+    early_abort: bool | str = True,
+    parallel_probes: int = 1,
+    pool: SweepPool | None = None,
+    sim_cache: bool = True,
 ) -> CapacityResult:
     """Binary search for the highest SLO-compliant arrival rate.
 
     The search brackets on (low = feasible, high = infeasible) and
-    reports the last feasible probe with its QoS.
+    reports the last feasible probe with its QoS.  The knobs change how
+    fast the verdicts are reached, not which rate is found:
+    ``reuse_arrivals``, ``parallel_probes``, ``sim_cache`` and the
+    always-on probe cache are exact by construction; ``early_abort``
+    judges a probe infeasible from a truncated run, which is
+    conservative (an abort implies the truncated prefix already fails
+    the final stability check) but heuristic with respect to the full
+    simulation — use ``"verify"`` to machine-check the per-probe parity
+    (the committed benches record 100%):
+
+    * ``reuse_arrivals`` — rescale one workload template per probe
+      instead of regenerating (bit-identical draws, see
+      :class:`~repro.serving.generator.PoissonArrivalTemplate`);
+    * ``early_abort`` — cut clearly saturated probes short
+      (``"verify"`` additionally runs the full simulation per aborted
+      probe and records the verdict parity on each
+      :class:`ProbeOutcome`);
+    * ``parallel_probes`` (2 or 3) — speculative bracketing: probe the
+      midpoint plus the next-level midpoint(s) concurrently, consuming
+      two bisection steps per round with the exact sequential bracket;
+      uses ``pool`` (a :class:`~repro.analysis.sweep.SweepPool`) or a
+      temporary pool when none is given;
+    * ``sim_cache`` — wrap ``device`` in a
+      :class:`~repro.perf.cache.CachedDeviceModel` (exact memoization)
+      unless it already is one.
+    """
+    if slo_tbt_s <= 0:
+        raise ValueError("TBT SLO must be positive")
+    if parallel_probes < 1:
+        raise ValueError("parallel_probes must be >= 1")
+    parallel_probes = min(parallel_probes, 3)
+    if sim_cache and not isinstance(device, CachedDeviceModel):
+        device = CachedDeviceModel(device)
+    low, high = rate_bounds
+    ctx = _ProbeContext(
+        device=device, model=model, trace=trace, num_devices=num_devices,
+        request_count=request_count, seed=seed,
+        max_sim_seconds=max_sim_seconds, slo_tbt_s=slo_tbt_s,
+        slo_ttft_s=slo_ttft_s, percentile=percentile,
+        workload=PoissonArrivalTemplate(trace, request_count, seed)
+        if reuse_arrivals else None,
+        early_abort=early_abort,
+    )
+    owns_pool = False
+    if parallel_probes > 1 and pool is None:
+        pool = probe_pool(device, workers=parallel_probes)
+        owns_pool = True
+    runner = _ProbeRunner(ctx, pool if parallel_probes > 1 else None)
+    try:
+        return _bracketed_search(runner, low, high, slo_tbt_s, slo_ttft_s,
+                                 iterations, parallel_probes)
+    finally:
+        if owns_pool:
+            pool.close()
+
+
+def _bracketed_search(runner: _ProbeRunner, low: float, high: float,
+                      slo_tbt_s: float, slo_ttft_s: float | None,
+                      iterations: int,
+                      parallel_probes: int) -> CapacityResult:
+    def result(rate: float, qos: QoSReport) -> CapacityResult:
+        return CapacityResult(rate, qos, slo_tbt_s, slo_ttft_s,
+                              runner.record, runner.simulations)
+
+    low_bound = low
+    if runner.probe(high).feasible:
+        return result(high, runner.full_qos(high))
+
+    # Bisection.  The low endpoint is NOT probed up front: if any
+    # midpoint turns out feasible, bracketing monotonicity makes the
+    # low verdict irrelevant, and the low probe is the single most
+    # expensive simulation (its horizon scales as 1/rate).
+    best_rate: float | None = None
+    consumed = 0
+    while consumed < iterations:
+        mid = (low + high) / 2.0
+        if parallel_probes > 1 and iterations - consumed >= 2:
+            # Speculative round: evaluate the midpoints of both halves
+            # alongside mid.  Whatever mid's verdict, the follow-up
+            # midpoint was already computed with the same floats the
+            # sequential loop would use, so two steps resolve at the
+            # wall-clock of the slowest probe.
+            candidates = [mid]
+            if parallel_probes >= 3:
+                candidates.append((low + mid) / 2.0)
+            candidates.append((mid + high) / 2.0)
+            outcomes = runner.probe_many(candidates)
+            if outcomes[mid].feasible:
+                low, best_rate = mid, mid
+                consumed += 1
+                follow = (mid + high) / 2.0
+                if outcomes[follow].feasible:
+                    low, best_rate = follow, follow
+                else:
+                    high = follow
+                consumed += 1
+            else:
+                lo_follow = (low + mid) / 2.0
+                high = mid
+                consumed += 1
+                if lo_follow in outcomes:
+                    if outcomes[lo_follow].feasible:
+                        low, best_rate = lo_follow, lo_follow
+                    else:
+                        high = lo_follow
+                    consumed += 1
+        else:
+            if runner.probe(mid).feasible:
+                low, best_rate = mid, mid
+            else:
+                high = mid
+            consumed += 1
+
+    if best_rate is not None:
+        return result(best_rate, runner.full_qos(best_rate))
+
+    # No feasible midpoint: the deferred low endpoint decides between
+    # "capacity = rate_bounds[0]" and "capacity = 0".
+    if runner.probe(low_bound).feasible:
+        return result(low_bound, runner.full_qos(low_bound))
+    qos = runner.full_outcome(low_bound)
+    if qos is None:
+        raise EndpointUnservable(
+            "endpoint cannot finish any request at the minimum rate")
+    return result(0.0, qos)
+
+
+def reference_capacity_search(
+    device: DeviceModel,
+    model: ModelConfig,
+    trace: ChatTraceConfig,
+    slo_tbt_s: float,
+    slo_ttft_s: float | None = None,
+    num_devices: int = 1,
+    request_count: int = 200,
+    seed: int = 7,
+    percentile: str = "p95",
+    rate_bounds: tuple = (0.25, 256.0),
+    iterations: int = 9,
+    max_sim_seconds: float = 600.0,
+) -> CapacityResult:
+    """The pre-optimization sequential search, kept as the parity oracle.
+
+    Eager endpoint probes, fresh workload generation per probe, full
+    simulations, and a final best-rate re-simulation — exactly the
+    algorithm :func:`max_capacity_under_slo` must reproduce rate-for-
+    rate.  Benchmarked as the baseline by
+    ``benchmarks/bench_capacity_speed.py``.
     """
     if slo_tbt_s <= 0:
         raise ValueError("TBT SLO must be positive")
     low, high = rate_bounds
-    probes = []
+    probes: list[ProbeOutcome] = []
+    simulations = 0
+
+    def simulate(rate: float):
+        nonlocal simulations
+        simulations += 1
+        return _simulate_rate(device, model, trace, rate, num_devices,
+                              request_count, seed, max_sim_seconds)
 
     def probe(rate: float) -> bool:
-        result, qos = _simulate_rate(device, model, trace, rate, num_devices,
-                                     request_count, seed, max_sim_seconds)
+        result, qos = simulate(rate)
         ok = _meets(result, qos, request_count, rate, slo_tbt_s, slo_ttft_s,
                     percentile)
-        probes.append((rate, ok, qos))
+        probes.append(ProbeOutcome(rate=rate, feasible=ok, qos=qos,
+                                   finished=len(result.finished),
+                                   total_time_s=result.total_time_s))
         return ok
 
+    def result(rate: float, qos: QoSReport) -> CapacityResult:
+        return CapacityResult(rate, qos, slo_tbt_s, slo_ttft_s,
+                              tuple(probes), simulations)
+
     if not probe(low):
-        result, qos = _simulate_rate(device, model, trace, low, num_devices,
-                                     request_count, seed, max_sim_seconds)
+        _, qos = simulate(low)
         if qos is None:
-            raise RuntimeError(
+            raise EndpointUnservable(
                 "endpoint cannot finish any request at the minimum rate")
-        return CapacityResult(0.0, qos, slo_tbt_s, slo_ttft_s, tuple(probes))
+        return result(0.0, qos)
     if probe(high):
-        result, qos = _simulate_rate(device, model, trace, high, num_devices,
-                                     request_count, seed, max_sim_seconds)
-        return CapacityResult(high, qos, slo_tbt_s, slo_ttft_s, tuple(probes))
+        _, qos = simulate(high)
+        return result(high, qos)
 
     best_rate = low
     for _ in range(iterations):
@@ -150,7 +587,6 @@ def max_capacity_under_slo(
             best_rate = mid
         else:
             high = mid
-    _, qos = _simulate_rate(device, model, trace, best_rate, num_devices,
-                            request_count, seed, max_sim_seconds)
+    _, qos = simulate(best_rate)
     assert qos is not None
-    return CapacityResult(best_rate, qos, slo_tbt_s, slo_ttft_s, tuple(probes))
+    return result(best_rate, qos)

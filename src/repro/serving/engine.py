@@ -29,6 +29,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.chip import ChipKind
 from repro.models.config import ModelConfig
 from repro.perf.baselines import DeviceModel
@@ -49,6 +51,127 @@ _OVERLAP_BY_KIND = {
 }
 
 
+@dataclass(frozen=True)
+class Saturated:
+    """Typed verdict of an online saturation abort.
+
+    Attached to :attr:`SimulationResult.saturated` when an
+    :class:`InstabilityMonitor` cut the run short: the endpoint's
+    admission backlog grew across consecutive observation windows while
+    late requests' TTFT escaped far past the early requests' — the
+    signature of an unbounded queue.  A saturated run can never satisfy
+    the capacity search's feasibility test (the abort condition strictly
+    implies the final :func:`ttft_is_stable` check fails), so the probe
+    verdict is decided without simulating the rest of the horizon.
+    """
+
+    time_s: float
+    queued: int
+    finished: int
+    reason: str
+
+
+def ttft_is_stable(finished: list, ratio: float = 2.5,
+                   floor: float = 0.25, min_count: int = 8) -> bool:
+    """Detect an unbounded backlog: TTFT must not balloon over the run.
+
+    At a sustainable rate TTFT is roughly flat; past saturation every
+    later request waits behind a growing queue, so the second half's
+    median TTFT (in arrival order) races away from the first half's.
+    Shared by the capacity search's final stability verdict (default
+    thresholds) and the :class:`InstabilityMonitor`'s stricter online
+    escape test.
+    """
+    if len(finished) < min_count:
+        return True
+    ordered = sorted(finished, key=lambda r: r.arrival_time)
+    half = len(ordered) // 2
+    first = float(np.median([r.ttft for r in ordered[:half]]))
+    second = float(np.median([r.ttft for r in ordered[half:]]))
+    return second <= max(ratio * first, floor)
+
+
+class InstabilityMonitor:
+    """Online saturation detector for :meth:`ServingEngine.run`.
+
+    Samples the backlog (arrived requests still waiting for their first
+    token) every ``check_every`` engine iterations and aborts the run
+    once **all** of the following hold, so a doomed probe stops burning
+    wall-clock on a foregone verdict:
+
+    1. the backlog stayed above ``max(min_backlog, backlog_fraction *
+       request_count)`` requests across the last ``windows``
+       consecutive samples (sustained, not a transient burst),
+    2. it is not draining: the newest sample is at least
+       ``drain_tolerance`` of the oldest windowed one (a stable queue
+       empties fast; a saturated one grows, plateaus, or creeps down at
+       the capacity deficit),
+    3. at least ``min_finished`` requests finished, and their
+       arrival-ordered TTFT halves fail :func:`ttft_is_stable` at the
+       strict ``escape_ratio`` / ``escape_floor`` thresholds.
+
+    Condition 3 deliberately uses *stricter* thresholds than the
+    capacity search's final stability check (2.75x vs 2.5x, 0.4 s vs
+    0.25 s): an abort therefore implies the truncated run already fails
+    the final check, so the feasibility verdict of an aborted probe is
+    structurally identical to finishing the simulation and failing it.
+    The monitor only observes — a run it never fires on is bit-identical
+    to one without a monitor.
+    """
+
+    def __init__(self, request_count: int, check_every: int = 32,
+                 windows: int = 4, min_backlog: int = 16,
+                 backlog_fraction: float = 0.1,
+                 drain_tolerance: float = 0.75, escape_ratio: float = 2.75,
+                 escape_floor: float = 0.4, min_finished: int = 16) -> None:
+        if request_count < 1:
+            raise ValueError("request_count must be >= 1")
+        if check_every < 1 or windows < 1:
+            raise ValueError("check_every and windows must be >= 1")
+        self.request_count = request_count
+        self.check_every = check_every
+        self.windows = windows
+        self.min_backlog = min_backlog
+        self.backlog_fraction = backlog_fraction
+        self.drain_tolerance = drain_tolerance
+        self.escape_ratio = escape_ratio
+        self.escape_floor = escape_floor
+        self.min_finished = min_finished
+        self._iterations = 0
+        self._samples: deque[int] = deque(maxlen=windows + 1)
+        self.verdict: Saturated | None = None
+
+    def observe(self, now: float, backlog: int, finished: list) -> bool:
+        """Record one engine iteration; ``True`` means abort (saturated)."""
+        self._iterations += 1
+        if self._iterations % self.check_every:
+            return False
+        self._samples.append(backlog)
+        if len(self._samples) <= self.windows:
+            return False
+        samples = list(self._samples)
+        threshold = max(self.min_backlog,
+                        self.backlog_fraction * self.request_count)
+        if min(samples) < threshold:
+            return False
+        if samples[-1] < self.drain_tolerance * samples[0]:
+            return False
+        if len(finished) < self.min_finished:
+            return False
+        if ttft_is_stable(finished, ratio=self.escape_ratio,
+                          floor=self.escape_floor,
+                          min_count=self.min_finished):
+            return False
+        self.verdict = Saturated(
+            time_s=now,
+            queued=backlog,
+            finished=len(finished),
+            reason=(f"backlog of {backlog} held across {self.windows} "
+                    f"windows with TTFT escape > {self.escape_ratio:g}x"),
+        )
+        return True
+
+
 @dataclass
 class SimulationResult:
     """Outcome of one serving simulation."""
@@ -61,6 +184,8 @@ class SimulationResult:
     busy_time_s: float
     decode_time_s: float
     prefill_time_s: float
+    #: non-None when an InstabilityMonitor aborted the run early
+    saturated: Saturated | None = None
 
     @property
     def completed_requests_per_s(self) -> float:
@@ -185,8 +310,16 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
 
     def run(self, requests: list[Request],
-            max_sim_seconds: float = 600.0) -> SimulationResult:
-        """Simulate until all requests finish or the horizon expires."""
+            max_sim_seconds: float = 600.0,
+            monitor: InstabilityMonitor | None = None) -> SimulationResult:
+        """Simulate until all requests finish or the horizon expires.
+
+        An optional :class:`InstabilityMonitor` observes the admission
+        backlog and the finished set each loop pass; when it fires, the
+        run stops early and the result carries a :class:`Saturated`
+        verdict.  A run the monitor never fires on is bit-identical to
+        one without a monitor.
+        """
         pending = deque(sorted(requests, key=lambda r: r.arrival_time))
         scheduler = ContinuousBatchingScheduler(self.model, self.limits)
         now = 0.0
@@ -196,6 +329,7 @@ class ServingEngine:
         busy = 0.0
         decode_time = 0.0
         prefill_time = 0.0
+        saturated: Saturated | None = None
         device = self.device
         model = self.model
         num_devices = self.num_devices
@@ -203,6 +337,14 @@ class ServingEngine:
         while now < max_sim_seconds:
             while pending and pending[0].arrival_time <= now:
                 scheduler.enqueue(pending.popleft())
+            # backlog = arrived requests still waiting for a first token
+            # (admission may be generous, so saturation can pile up in
+            # the prefill queue rather than the admission queue)
+            if monitor is not None and monitor.observe(
+                    now, len(scheduler.queued) + len(scheduler.prefilling),
+                    finished):
+                saturated = monitor.verdict
+                break
             plan = scheduler.plan_iteration()
             if not plan.has_work:
                 if not pending:
@@ -252,4 +394,5 @@ class ServingEngine:
             busy_time_s=busy,
             decode_time_s=decode_time,
             prefill_time_s=prefill_time,
+            saturated=saturated,
         )

@@ -54,6 +54,50 @@ class PoissonRequestGenerator:
         return _requests_from(arrivals, lengths)
 
 
+class PoissonArrivalTemplate:
+    """A Poisson workload drawn once and rescaled per probed rate.
+
+    The capacity search probes many arrival rates against *the same*
+    workload.  Regenerating with :class:`PoissonRequestGenerator` per
+    probe redraws identical randomness; this template draws the
+    unit-rate exponential gaps and the token lengths a single time, and
+    :meth:`requests_at` rescales the gaps by ``1 / rate``.
+
+    The rescaling is draw-for-draw **bit-identical** to fresh
+    generation: numpy's ``Generator.exponential(scale)`` evaluates
+    ``scale * standard_exponential()`` per element, so
+    ``Exp(1/rate) == Exp(1) * (1/rate)`` on the very same underlying
+    uniforms, and the length draws that follow consume the identical
+    stream positions.  Every probed rate therefore sees common random
+    numbers (the classic variance-reduction trick) while skipping the
+    per-probe regeneration cost.
+    """
+
+    def __init__(self, trace: ChatTraceConfig, count: int, seed: int) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.trace = trace
+        self.count = count
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._unit_gaps = rng.standard_exponential(size=count)
+        self._lengths = sample_trace(trace, count, rng)
+
+    def requests_at(self, rate_per_s: float,
+                    start_time: float = 0.0) -> list[Request]:
+        """Fresh :class:`Request` objects for one probed arrival rate."""
+        if rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.count == 0:
+            return []
+        # identical float operations to PoissonRequestGenerator.generate:
+        # numpy's exponential(scale) multiplies each standard draw by the
+        # scale, and IEEE multiplication is commutative bit-for-bit
+        gaps = self._unit_gaps * (1.0 / rate_per_s)
+        arrivals = start_time + np.cumsum(gaps)
+        return _requests_from(arrivals, self._lengths)
+
+
 class OnOffRequestGenerator:
     """Bursty arrivals: a Markov-modulated Poisson (on/off) process.
 

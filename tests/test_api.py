@@ -6,10 +6,13 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    CapacityReport,
+    CapacitySpec,
     DeploymentSpec,
     EndpointOverloaded,
     Experiment,
     WorkloadSpec,
+    find_capacity,
     chip_from_dict,
     chip_to_dict,
     get_chip,
@@ -181,6 +184,36 @@ class TestSpecRoundTrip:
             json.loads(json.dumps(experiment.to_dict())))
         assert clone == experiment
 
+    def test_capacity_spec_round_trip(self):
+        experiment = Experiment(
+            deployment=DeploymentSpec(chip="ador"),
+            workload=WorkloadSpec(num_requests=40, seed=9),
+            capacity=CapacitySpec(slo_tbt_s=0.025, slo_ttft_s=0.5,
+                                  iterations=4, rate_high=64.0,
+                                  parallel_probes=2),
+            name="capacity-round-trip",
+        )
+        clone = Experiment.from_dict(
+            json.loads(json.dumps(experiment.to_dict())))
+        assert clone == experiment
+
+    def test_experiment_without_capacity_omits_the_key(self):
+        experiment = Experiment(deployment=DeploymentSpec(),
+                                workload=WorkloadSpec())
+        assert "capacity" not in experiment.to_dict()
+
+    def test_capacity_spec_validation(self):
+        with pytest.raises(ValueError):
+            CapacitySpec(slo_tbt_s=0.0)
+        with pytest.raises(ValueError):
+            CapacitySpec(rate_low=2.0, rate_high=1.0)
+        with pytest.raises(ValueError):
+            CapacitySpec(parallel_probes=0)
+        with pytest.raises(ValueError, match="percentile"):
+            CapacitySpec(percentile="p90")
+        with pytest.raises(ValueError):
+            CapacitySpec.from_dict({"slo_tbt_s": 0.05, "typo": 1})
+
     def test_workload_validation(self):
         with pytest.raises(ValueError, match="arrival"):
             WorkloadSpec(arrival="bursty")
@@ -266,6 +299,74 @@ class TestSimulate:
                                 num_requests=1, seed=0)
         with pytest.raises(EndpointOverloaded):
             simulate(deployment, workload, max_sim_seconds=0.001)
+
+
+class TestFindCapacity:
+    CAPACITY = CapacitySpec(slo_tbt_s=0.050, iterations=3,
+                            rate_low=0.5, rate_high=64.0)
+
+    def test_facade_matches_direct_search(self):
+        from repro.serving.capacity import max_capacity_under_slo
+
+        deployment = DeploymentSpec(chip="ador", model="llama3-8b")
+        workload = WorkloadSpec(num_requests=40, seed=7)
+        report = find_capacity(deployment, workload, self.CAPACITY,
+                               max_sim_seconds=300.0)
+        direct = max_capacity_under_slo(
+            device_model_for(get_chip("ador")), get_model("llama3-8b"),
+            ULTRACHAT_LIKE, slo_tbt_s=0.050, request_count=40, seed=7,
+            rate_bounds=(0.5, 64.0), iterations=3, max_sim_seconds=300.0)
+        assert isinstance(report, CapacityReport)
+        assert report.max_requests_per_s == direct.max_requests_per_s
+        assert report.qos == direct.qos_at_max
+        assert "max sustainable rate" in report.summary()
+
+    def test_slo_override_kwargs(self):
+        deployment = DeploymentSpec(chip="ador")
+        workload = WorkloadSpec(num_requests=40, seed=7)
+        relaxed = find_capacity(deployment, workload, self.CAPACITY,
+                                max_sim_seconds=300.0)
+        strict = find_capacity(deployment, workload, self.CAPACITY,
+                               max_sim_seconds=300.0, slo_tbt_s=0.02)
+        assert strict.capacity_spec.slo_tbt_s == 0.02
+        assert strict.max_requests_per_s <= relaxed.max_requests_per_s
+
+    def test_rejects_multi_replica_deployments(self):
+        with pytest.raises(ValueError, match="single endpoint"):
+            find_capacity(DeploymentSpec(replicas=2), WorkloadSpec(),
+                          self.CAPACITY)
+
+    def test_rejects_non_continuous_batching(self):
+        with pytest.raises(ValueError, match="continuous batching"):
+            find_capacity(DeploymentSpec(batching="static"),
+                          WorkloadSpec(), self.CAPACITY)
+
+    def test_rejects_context_bucket_without_sim_cache(self):
+        # the capacity path must not silently drop the bucket the way
+        # _device_for's guard prevents for fixed-rate simulations
+        with pytest.raises(ValueError, match="context_bucket"):
+            find_capacity(DeploymentSpec(), WorkloadSpec(num_requests=4),
+                          self.CAPACITY, sim_cache=False,
+                          context_bucket=32)
+
+    def test_run_experiment_dispatches_to_capacity(self):
+        experiment = Experiment(
+            deployment=DeploymentSpec(chip="ador"),
+            workload=WorkloadSpec(num_requests=40, seed=7),
+            capacity=self.CAPACITY,
+            max_sim_seconds=300.0,
+        )
+        report = run_experiment(experiment)
+        assert isinstance(report, CapacityReport)
+        assert report.max_requests_per_s > 0.0
+
+    def test_committed_capacity_experiment_loads(self):
+        import pathlib
+        sample = pathlib.Path(__file__).parent.parent \
+            / "experiments" / "capacity_ador_8b.json"
+        experiment = load_experiment(sample)
+        assert experiment.capacity is not None
+        assert experiment.capacity.slo_tbt_s == pytest.approx(0.050)
 
 
 class TestExperimentFiles:

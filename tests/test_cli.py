@@ -68,6 +68,29 @@ class TestCommands:
                      "--seed", "22"]) == 0
         assert capsys.readouterr().out != first
 
+    def test_capacity_reports_found_rate(self, capsys):
+        code = main(["capacity", "--requests", "40", "--iterations", "3",
+                     "--rate-low", "0.5", "--rate-high", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max sustainable rate" in out
+        assert "probes" in out
+
+    def test_capacity_is_reproducible_with_and_without_knobs(self, capsys):
+        base = ["capacity", "--requests", "40", "--iterations", "3",
+                "--rate-low", "0.5", "--rate-high", "64"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--no-early-abort",
+                            "--no-reuse-arrivals"]) == 0
+        second = capsys.readouterr().out
+        # the knobs change wall-clock, never the found rate or QoS
+        assert first.splitlines()[:5] == second.splitlines()[:5]
+
+    def test_capacity_rejects_bad_slo(self, capsys):
+        assert main(["capacity", "--slo-tbt-ms", "-5"]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_run_executes_experiment_file(self, capsys, tmp_path):
         experiment = {
             "deployment": {"chip": "ador", "model": "llama3-8b",
