@@ -34,6 +34,12 @@ from repro.api.facade import (
     simulate,
     simulate_cluster,
 )
+from repro.cluster.autoscaler import (
+    AutoscaleSpec,
+    get_autoscaler,
+    list_autoscalers,
+    register_autoscaler,
+)
 from repro.cluster.router import get_router, list_routers, register_router
 from repro.api.specs import (
     CapacitySpec,
@@ -64,6 +70,10 @@ __all__ = [
     "get_router",
     "list_routers",
     "register_router",
+    "AutoscaleSpec",
+    "get_autoscaler",
+    "list_autoscalers",
+    "register_autoscaler",
     "load_experiment",
     "save_experiment",
     "run_experiment",

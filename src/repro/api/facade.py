@@ -113,9 +113,10 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
     """Run one serving experiment end-to-end and report QoS + utilization.
 
     Dispatches to :func:`simulate_cluster` when the deployment asks for
-    more than one replica.  Raises :class:`EndpointOverloaded` if not a
-    single request finishes within the horizon — the spec'd endpoint
-    cannot sustain the load.
+    more than one replica — or for an autoscaled fleet (even one that
+    starts at a single replica: it can grow).  Raises
+    :class:`EndpointOverloaded` if not a single request finishes within
+    the horizon — the spec'd endpoint cannot sustain the load.
 
     ``sim_cache`` enables the simulator fast path: device-model
     memoization (:class:`~repro.perf.cache.CachedDeviceModel`) plus the
@@ -125,7 +126,7 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
     context for higher hit rates at a small, measured latency error
     (see ``benchmarks/bench_sim_speed.py``).
     """
-    if deployment.replicas > 1:
+    if deployment.replicas > 1 or deployment.autoscale is not None:
         return simulate_cluster(deployment, workload,
                                 max_sim_seconds=max_sim_seconds,
                                 sim_cache=sim_cache,
@@ -235,10 +236,11 @@ def find_capacity(deployment: DeploymentSpec, workload: WorkloadSpec,
     """
     from repro.serving.capacity import max_capacity_under_slo
 
-    if deployment.replicas > 1:
+    if deployment.replicas > 1 or deployment.autoscale is not None:
         raise ValueError(
             "capacity search simulates a single endpoint; "
-            "set replicas=1 (scale the found rate by the fleet size)")
+            "set replicas=1 and drop the autoscale spec (scale the "
+            "found rate by the fleet size)")
     if deployment.batching != "continuous":
         # the capacity engine is iteration-faithful only for continuous
         # batching; a capacity figure silently measured under a
@@ -293,7 +295,9 @@ class ClusterReport:
     computed over every finished request against the slowest replica's
     wall clock, and ``load`` summarizes how evenly the router spread the
     work.  ``result`` is the merged fleet view; per-replica results stay
-    available in ``cluster.replica_results``.
+    available in ``cluster.replica_results``.  Autoscaled deployments
+    additionally expose the scaling history as ``autoscale``
+    (:class:`~repro.cluster.report.AutoscaleTrace`).
     """
 
     deployment: DeploymentSpec
@@ -311,15 +315,23 @@ class ClusterReport:
     def load(self) -> LoadImbalanceStats:
         return self.cluster.load
 
+    @property
+    def autoscale(self):
+        return self.cluster.autoscale
+
     def summary_lines(self) -> list[str]:
         qos, load = self.qos, self.load
         requests = ", ".join(str(n) for n in load.requests_per_replica)
         busy = ", ".join(f"{b:.2f}"
                          for b in load.busy_fraction_per_replica)
-        return [
+        trace = self.autoscale
+        fleet = f"{self.deployment.replicas}x" if trace is None else \
+            f"autoscaled (start {self.deployment.replicas}, " \
+            f"peak {trace.peak_replicas})"
+        lines = [
             f"simulated {len(self.result.finished)} requests at "
             f"{self.workload.rate_per_s:g} req/s on "
-            f"{self.deployment.replicas}x {self.chip.name} "
+            f"{fleet} {self.chip.name} "
             f"({self.deployment.num_devices} device(s)/replica, "
             f"{self.deployment.router} routing):",
             f"  TTFT mean/p95 : {qos.ttft_mean_s * 1e3:.1f} / "
@@ -332,6 +344,20 @@ class ClusterReport:
             f"(imbalance {load.request_imbalance:.2f})",
             f"  busy fraction/replica : {busy}",
         ]
+        if trace is not None:
+            spec = self.deployment.autoscale
+            lines += [
+                f"  autoscaler : {spec.policy} every "
+                f"{spec.decision_interval_s:g} s, range "
+                f"[{spec.min_replicas}, {spec.max_replicas}], "
+                f"{trace.scale_ups} up / {trace.scale_downs} down "
+                f"({trace.warm_launches} warm, {trace.cold_launches} "
+                f"cold launches)",
+                f"  replica-seconds : {trace.replica_seconds:.1f} "
+                f"(fixed fleet of {spec.max_replicas} would cost "
+                f"{spec.max_replicas * self.result.total_time_s:.1f})",
+            ]
+        return lines
 
     def summary(self) -> str:
         return "\n".join(self.summary_lines())
@@ -364,6 +390,7 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
         replicas=deployment.replicas,
         router=deployment.router,
         fast_forward=sim_cache,
+        autoscale=deployment.autoscale,
     )
     cluster = engine.run(requests, max_sim_seconds=max_sim_seconds)
     if not cluster.merged.finished:

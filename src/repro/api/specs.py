@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
+from repro.cluster.autoscaler import AutoscaleSpec
 from repro.hardware.chip import ChipKind, ChipSpec
 from repro.hardware.components import MacTree, SystolicArray, VectorUnit
 from repro.hardware.interconnect import NocSpec, NocTopology, P2pSpec
@@ -242,6 +243,13 @@ class DeploymentSpec:
     behind a router named by ``router`` (a
     :mod:`repro.cluster.router` registry entry); with ``replicas > 1``
     :func:`repro.api.simulate` dispatches to the cluster engine.
+
+    ``autoscale`` makes the fleet elastic: ``replicas`` becomes the
+    *initial* size and the spec'd
+    :class:`~repro.cluster.autoscaler.AutoscalerPolicy` resizes it
+    within ``[min_replicas, max_replicas]`` on a decision interval (the
+    cluster engine runs even when ``replicas == 1``, since the fleet
+    can grow).
     """
 
     chip: str | ChipSpec = "ador"
@@ -253,12 +261,21 @@ class DeploymentSpec:
     batching: str = "continuous"
     replicas: int = 1
     router: str = "round-robin"
+    autoscale: AutoscaleSpec | None = None
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
         if self.replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if self.autoscale is not None and not (
+                self.autoscale.min_replicas <= self.replicas
+                <= self.autoscale.max_replicas):
+            raise ValueError(
+                f"replicas={self.replicas} (the initial fleet size) must "
+                f"lie within the autoscale range "
+                f"[{self.autoscale.min_replicas}, "
+                f"{self.autoscale.max_replicas}]")
         # canonicalize "unlimited": None and +inf mean the same thing,
         # and specs must compare equal after a JSON round-trip
         if self.kv_budget_bytes == float("inf"):
@@ -293,12 +310,14 @@ class DeploymentSpec:
             "batching": self.batching,
             "replicas": self.replicas,
             "router": self.router,
+            "autoscale": self.autoscale.to_dict()
+            if self.autoscale is not None else None,
         }
 
     _FIELDS = frozenset(
         ("chip", "model", "num_devices", "max_batch",
          "prefill_chunk_tokens", "kv_budget_bytes", "batching",
-         "replicas", "router"))
+         "replicas", "router", "autoscale"))
 
     @classmethod
     def from_dict(cls, data: dict) -> "DeploymentSpec":
@@ -307,6 +326,7 @@ class DeploymentSpec:
         chip = data.get("chip", "ador")
         if isinstance(chip, dict):
             chip = chip_from_dict(chip)
+        autoscale = data.get("autoscale")
         return cls(
             chip=chip,
             model=data.get("model", "llama3-8b"),
@@ -317,6 +337,8 @@ class DeploymentSpec:
             batching=data.get("batching", "continuous"),
             replicas=data.get("replicas", 1),
             router=data.get("router", "round-robin"),
+            autoscale=AutoscaleSpec.from_dict(autoscale)
+            if autoscale is not None else None,
         )
 
 

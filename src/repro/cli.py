@@ -22,6 +22,7 @@ import warnings
 
 from repro.analysis.tables import format_table
 from repro.api import (
+    AutoscaleSpec,
     CapacitySpec,
     DeploymentSpec,
     EndpointOverloaded,
@@ -31,6 +32,7 @@ from repro.api import (
     run_experiment,
     simulate,
 )
+from repro.cluster.autoscaler import list_autoscalers
 from repro.cluster.router import list_routers
 from repro.core.requirements import (
     SearchRequest,
@@ -126,6 +128,36 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0 if result.requirements_met else 1
 
 
+_AUTOSCALE_KNOBS = (
+    ("autoscale_min", "min_replicas"),
+    ("autoscale_max", "max_replicas"),
+    ("autoscale_interval", "decision_interval_s"),
+    ("autoscale_provision_s", "provision_latency_s"),
+    ("autoscale_warm_pool", "warm_pool_size"),
+    ("autoscale_warm_provision_s", "warm_provision_s"),
+)
+
+
+def _autoscale_spec(args: argparse.Namespace) -> AutoscaleSpec | None:
+    """Build an AutoscaleSpec from ``--autoscale*`` flags.
+
+    A knob without ``--autoscale`` is a config mistake, not a default
+    to silently ignore — fail loudly, same contract as the JSON specs.
+    """
+    overrides = {field: getattr(args, arg)
+                 for arg, field in _AUTOSCALE_KNOBS
+                 if getattr(args, arg) is not None}
+    if args.autoscale is None:
+        if overrides:
+            flags = ", ".join("--" + arg.replace("_", "-")
+                              for arg, _ in _AUTOSCALE_KNOBS
+                              if getattr(args, arg) is not None)
+            raise ValueError(
+                f"{flags} require(s) --autoscale <policy>")
+        return None
+    return AutoscaleSpec(policy=args.autoscale, **overrides)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         deployment = DeploymentSpec(
@@ -136,6 +168,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batching=args.policy,
             replicas=args.replicas,
             router=args.router,
+            autoscale=_autoscale_spec(args),
         )
     except ValueError as exc:
         print(f"error: {_exc_message(exc)}", file=sys.stderr)
@@ -199,14 +232,29 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         experiment = load_experiment(args.experiment)
-        if args.replicas is not None or args.router is not None:
-            # command-line overrides for quick cluster what-ifs without
-            # editing the experiment file
-            overrides = {}
-            if args.replicas is not None:
-                overrides["replicas"] = args.replicas
-            if args.router is not None:
-                overrides["router"] = args.router
+        overrides = {}
+        # command-line overrides for quick cluster what-ifs without
+        # editing the experiment file
+        if args.replicas is not None:
+            overrides["replicas"] = args.replicas
+        if args.router is not None:
+            overrides["router"] = args.router
+        if args.no_autoscale and args.autoscale is not None:
+            # same loud-conflict contract as the serve-side knobs: a
+            # silently ignored policy would fake a fixed-fleet result
+            # as an autoscaled one (or vice versa)
+            raise ValueError(
+                "--autoscale and --no-autoscale are mutually exclusive")
+        if args.no_autoscale:
+            overrides["autoscale"] = None
+        elif args.autoscale is not None:
+            # switch (or turn on) the policy, keeping the experiment's
+            # other scaling knobs when it already autoscales
+            base = experiment.deployment.autoscale
+            overrides["autoscale"] = AutoscaleSpec(policy=args.autoscale) \
+                if base is None \
+                else dataclasses.replace(base, policy=args.autoscale)
+        if overrides:
             experiment = dataclasses.replace(
                 experiment,
                 deployment=dataclasses.replace(experiment.deployment,
@@ -287,6 +335,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--router", default="round-robin",
                        choices=list_routers(),
                        help="router policy for multi-replica serving")
+    serve.add_argument("--autoscale", default=None,
+                       choices=list_autoscalers(),
+                       help="autoscaler policy; --replicas becomes the "
+                            "initial fleet size and the fleet resizes "
+                            "within [--autoscale-min, --autoscale-max]")
+    serve.add_argument("--autoscale-min", type=int, default=None,
+                       help="smallest fleet the autoscaler may shrink to "
+                            "(default 1)")
+    serve.add_argument("--autoscale-max", type=int, default=None,
+                       help="largest fleet the autoscaler may grow to "
+                            "(default 8)")
+    serve.add_argument("--autoscale-interval", type=float, default=None,
+                       help="seconds of simulated time between scaling "
+                            "decisions (default 2)")
+    serve.add_argument("--autoscale-provision-s", type=float, default=None,
+                       help="cold provision latency a scale-up pays "
+                            "before the replica takes traffic "
+                            "(default 10)")
+    serve.add_argument("--autoscale-warm-pool", type=int, default=None,
+                       help="warm-pool slots; each cuts one launch to "
+                            "the warm latency, retirements refill the "
+                            "pool (default 0)")
+    serve.add_argument("--autoscale-warm-provision-s", type=float,
+                       default=None,
+                       help="provision latency of a warm-pool launch "
+                            "(default 1)")
     serve.add_argument("--no-sim-cache", action="store_true",
                        help="disable the simulator fast path (device-"
                             "model memoization + decode fast-forward); "
@@ -344,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the experiment's replica count")
     run.add_argument("--router", default=None, choices=list_routers(),
                      help="override the experiment's router policy")
+    run.add_argument("--autoscale", default=None,
+                     choices=list_autoscalers(),
+                     help="override (or enable) the experiment's "
+                          "autoscaler policy, keeping its other scaling "
+                          "knobs")
+    run.add_argument("--no-autoscale", action="store_true",
+                     help="strip the experiment's autoscale section and "
+                          "run the fixed fleet")
     run.add_argument("--no-sim-cache", action="store_true",
                      help="disable the simulator fast path (bit-identical "
                           "results, reference speed)")

@@ -10,15 +10,50 @@ consults a named :class:`RouterPolicy` (``round-robin``,
 per-replica outcomes into fleet QoS plus load-imbalance stats
 (:mod:`repro.cluster.report`).
 
+Routers address replicas by *position in the snapshot sequence* they
+are handed; the engine maps positions back to concrete replicas.  That
+contract matters because the fleet can be **dynamic**: with an
+:class:`AutoscaleSpec`, a registered :class:`AutoscalerPolicy`
+(``queue-depth``, ``slo-attainment`` — see
+:mod:`repro.cluster.autoscaler`) resizes the fleet on a decision
+interval, and replicas move through a lifecycle —
+
+* **provisioning** — launched, paying the modeled provision latency
+  (shortened by the warm pool), not yet routable;
+* **ready** — routable, serving traffic;
+* **draining** — picked by a scale-down: receives no new routed
+  requests but finishes every admitted one (no request is dropped);
+* **retired** — drained and decommissioned; its replica-seconds stop
+  accruing at the instant its last admitted request finished.
+
+Autoscaled results carry an :class:`AutoscaleTrace` (scale events,
+fleet-size/utilization timeline, replica-seconds) next to the usual
+fleet QoS.
+
 The declarative API reaches it via ``DeploymentSpec(replicas=4,
-router="least-outstanding")``; :func:`repro.api.simulate` dispatches to
-:func:`repro.api.simulate_cluster` automatically when ``replicas > 1``.
+router="least-outstanding")`` — plus ``autoscale=AutoscaleSpec(...)``
+for an elastic fleet; :func:`repro.api.simulate` dispatches to
+:func:`repro.api.simulate_cluster` automatically when ``replicas > 1``
+or an autoscale spec is present.
 """
 
+from repro.cluster.autoscaler import (
+    AUTOSCALER_REGISTRY,
+    AutoscalerPolicy,
+    AutoscaleSpec,
+    FleetObservation,
+    get_autoscaler,
+    list_autoscalers,
+    make_autoscaler,
+    register_autoscaler,
+)
 from repro.cluster.engine import ClusterEngine, ReplicaSim
 from repro.cluster.report import (
+    AutoscaleTrace,
     ClusterResult,
+    FleetSample,
     LoadImbalanceStats,
+    ScaleEvent,
     aggregate_cluster,
     load_imbalance,
     merge_results,
@@ -38,6 +73,9 @@ __all__ = [
     "ReplicaSim",
     "ClusterResult",
     "LoadImbalanceStats",
+    "AutoscaleTrace",
+    "FleetSample",
+    "ScaleEvent",
     "aggregate_cluster",
     "load_imbalance",
     "merge_results",
@@ -48,4 +86,12 @@ __all__ = [
     "list_routers",
     "make_router",
     "register_router",
+    "AUTOSCALER_REGISTRY",
+    "AutoscalerPolicy",
+    "AutoscaleSpec",
+    "FleetObservation",
+    "get_autoscaler",
+    "list_autoscalers",
+    "make_autoscaler",
+    "register_autoscaler",
 ]

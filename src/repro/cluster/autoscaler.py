@@ -1,0 +1,317 @@
+"""Autoscaler policies: how many replicas the fleet *should* have.
+
+The cluster engine evaluates an *autoscaler policy* on a fixed decision
+interval of simulated time; the policy sees a
+:class:`FleetObservation` — the routable replicas' load snapshots plus
+what happened since the last decision — and returns the desired number
+of launched (ready + provisioning) replicas.  The engine clamps the
+answer to ``[min_replicas, max_replicas]`` and enacts the difference:
+scale-ups launch replicas that pay a modeled provision latency (a warm
+pool shortens it), scale-downs *drain* — a retiring replica stops
+receiving routed requests but finishes every admitted one, so no
+request is ever dropped.
+
+Policies follow the repo's registry idiom
+(:class:`repro.registry.Registry`), exactly like routers and chips::
+
+    from repro.cluster.autoscaler import register_autoscaler
+
+    @register_autoscaler("my-policy")
+    class MyPolicy:
+        def desired_replicas(self, observation):  # -> int
+            ...
+
+Built-ins:
+
+* ``queue-depth``     — size the fleet so each ready replica carries
+  about ``target_per_replica`` outstanding requests, with hysteresis on
+  the way down (shrink only when the smaller fleet would still sit
+  comfortably under target);
+* ``slo-attainment``  — grow when the fraction of requests completed in
+  the last interval that met the TTFT SLO falls below the target,
+  shrink when attainment holds and the fleet is nearly idle — the
+  SLO-feedback loop of Ray-Serve-style deployments.
+
+All built-ins are deterministic: the same request stream and spec always
+produce the identical scaling history, so autoscaled experiments replay
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.cluster.router import ReplicaSnapshot
+from repro.registry import Registry
+
+
+# --------------------------------------------------------------------- #
+# What a policy sees                                                     #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class FleetObservation:
+    """The fleet as an autoscaler policy sees it at one decision instant.
+
+    ``replicas`` snapshots only the *routable* replicas (ready and not
+    draining) — the capacity that is actually taking traffic.
+    ``interval_*`` fields cover the window since the previous decision:
+    how many requests were routed, and the TTFT of every request that
+    *completed* in the window (completion-based because that is when the
+    simulated control plane learns a request's latency).
+    """
+
+    clock_s: float
+    interval_s: float
+    replicas: tuple[ReplicaSnapshot, ...]
+    provisioning: int                    # launched, not ready yet
+    draining: int                        # retiring, finishing admitted work
+    min_replicas: int
+    max_replicas: int
+    interval_arrivals: int
+    interval_ttft_s: tuple[float, ...]
+
+    @property
+    def ready(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def launched(self) -> int:
+        """Ready + provisioning: the count ``desired_replicas`` targets."""
+        return len(self.replicas) + self.provisioning
+
+    @property
+    def outstanding_requests(self) -> int:
+        """Routed-but-unfinished requests across the routable fleet."""
+        return sum(s.outstanding_requests for s in self.replicas)
+
+    @property
+    def queue_depth_per_replica(self) -> float:
+        """Mean outstanding requests per ready replica."""
+        return self.outstanding_requests / max(self.ready, 1)
+
+
+class AutoscalerPolicy(Protocol):
+    """A (possibly stateful) fleet-sizing decision function."""
+
+    def desired_replicas(self, observation: FleetObservation) -> int:
+        """Return the desired launched (ready + provisioning) count."""
+        ...
+
+
+# --------------------------------------------------------------------- #
+# Registry                                                               #
+# --------------------------------------------------------------------- #
+
+AUTOSCALER_REGISTRY = Registry("autoscaler policy")
+
+
+def register_autoscaler(name: str) -> Callable:
+    """Decorator: register a zero-arg :class:`AutoscalerPolicy` factory."""
+
+    def _decorate(factory: Callable[[], AutoscalerPolicy]):
+        AUTOSCALER_REGISTRY.register(name, factory)
+        return factory
+
+    return _decorate
+
+
+def get_autoscaler(name: str) -> Callable[[], AutoscalerPolicy]:
+    """Look up an autoscaler factory by name."""
+    return AUTOSCALER_REGISTRY.get(name)
+
+
+def make_autoscaler(policy: str | AutoscalerPolicy) -> AutoscalerPolicy:
+    """Resolve a name to a fresh policy instance; pass instances through."""
+    if isinstance(policy, str):
+        return get_autoscaler(policy)()
+    return policy
+
+
+def list_autoscalers() -> list[str]:
+    """Registered autoscaler-policy names, sorted."""
+    return AUTOSCALER_REGISTRY.names()
+
+
+# --------------------------------------------------------------------- #
+# The serializable scaling spec                                          #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class AutoscaleSpec:
+    """How a deployment's fleet grows and shrinks (all simulated).
+
+    ``policy`` names a registry entry; its decision is evaluated every
+    ``decision_interval_s`` of simulated time and clamped to
+    ``[min_replicas, max_replicas]``.  A scale-up pays
+    ``provision_latency_s`` before the new replica takes traffic, unless
+    warm stock is available — the warm pool starts with
+    ``warm_pool_size`` slots, each cutting the latency to
+    ``warm_provision_s``, and every retired replica returns one slot
+    (capped at the pool size).  Scale-downs always drain; no admitted
+    request is ever dropped.
+    """
+
+    policy: str = "queue-depth"
+    min_replicas: int = 1
+    max_replicas: int = 8
+    decision_interval_s: float = 2.0
+    provision_latency_s: float = 10.0
+    warm_pool_size: int = 0
+    warm_provision_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("min_replicas", "max_replicas", "warm_pool_size"):
+            value = getattr(self, name)
+            # JSON happily yields 8.0 where 8 was meant; a float count
+            # would crash deep in the engine's range() instead of here
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"{name} must be an integer, got {value!r}")
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.decision_interval_s <= 0:
+            raise ValueError("decision_interval_s must be positive")
+        if self.provision_latency_s < 0:
+            raise ValueError("provision_latency_s must be non-negative")
+        if self.warm_pool_size < 0:
+            raise ValueError("warm_pool_size must be non-negative")
+        if self.warm_provision_s < 0:
+            raise ValueError("warm_provision_s must be non-negative")
+        if self.warm_pool_size > 0 \
+                and self.warm_provision_s > self.provision_latency_s:
+            # only meaningful when warm starts can actually happen — a
+            # disabled pool must not force users to tune its latency
+            raise ValueError(
+                "warm_provision_s must not exceed provision_latency_s "
+                "(a warm start cannot be slower than a cold one)")
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+            "decision_interval_s": self.decision_interval_s,
+            "provision_latency_s": self.provision_latency_s,
+            "warm_pool_size": self.warm_pool_size,
+            "warm_provision_s": self.warm_provision_s,
+        }
+
+    _FIELDS = frozenset(
+        ("policy", "min_replicas", "max_replicas", "decision_interval_s",
+         "provision_latency_s", "warm_pool_size", "warm_provision_s"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AutoscaleSpec":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"autoscale section must be a JSON object, "
+                f"got {type(data).__name__}")
+        unknown = set(data) - cls._FIELDS
+        if unknown:
+            # same loud-typo contract as the api specs: a misspelled
+            # knob silently running with defaults would fake a result
+            raise ValueError(
+                f"unknown autoscale field(s): "
+                f"{', '.join(sorted(unknown))}; "
+                f"allowed: {', '.join(sorted(cls._FIELDS))}")
+        return cls(**{key: data[key] for key in cls._FIELDS if key in data})
+
+
+# --------------------------------------------------------------------- #
+# Built-in policies                                                      #
+# --------------------------------------------------------------------- #
+
+@register_autoscaler("queue-depth")
+class QueueDepthAutoscaler:
+    """Size the fleet to a target outstanding-requests-per-replica.
+
+    Scale-up is immediate: as soon as the fleet would need more than
+    ``target_per_replica`` outstanding requests per launched replica,
+    the desired size jumps straight to ``ceil(outstanding / target)`` —
+    no incremental stepping, because queue depth already measures *how
+    much* capacity is missing.  Scale-down is hysteretic: the fleet only
+    shrinks to the size that keeps every replica under
+    ``target_per_replica * down_headroom`` (headroom < 1, i.e. a
+    stricter bar), so a load level hovering near the threshold does not
+    flap the fleet.
+    """
+
+    def __init__(self, target_per_replica: float = 4.0,
+                 down_headroom: float = 0.5) -> None:
+        if target_per_replica <= 0:
+            raise ValueError("target_per_replica must be positive")
+        if not 0 < down_headroom <= 1:
+            raise ValueError("down_headroom must be in (0, 1]")
+        self.target_per_replica = target_per_replica
+        self.down_headroom = down_headroom
+
+    def desired_replicas(self, observation: FleetObservation) -> int:
+        outstanding = observation.outstanding_requests
+        launched = observation.launched
+        up = math.ceil(outstanding / self.target_per_replica)
+        if up > launched:
+            return up
+        down = math.ceil(outstanding / (self.target_per_replica
+                                        * self.down_headroom))
+        return min(down, launched)
+
+
+@register_autoscaler("slo-attainment")
+class SloAttainmentAutoscaler:
+    """Grow on missed TTFT SLOs, shrink when attainment holds while idle.
+
+    Attainment is the fraction of requests completed in the last
+    interval whose TTFT met ``slo_ttft_s``.  Below
+    ``target_attainment`` the fleet grows by ``step_up``; while
+    attainment holds *and* the fleet could absorb its outstanding work
+    with one replica fewer (at most ``drain_occupancy`` outstanding per
+    remaining replica), it shrinks by one.  With no completions to
+    judge, a queue deeper than two per launched replica counts as an SLO
+    risk and triggers the same ``step_up`` — that is what a burst onset
+    looks like before any request finishes — while a (nearly) empty
+    fleet shrinks by one, so an idle fleet still converges to the
+    minimum instead of idling at its burst peak.
+    """
+
+    def __init__(self, slo_ttft_s: float = 0.5,
+                 target_attainment: float = 0.95,
+                 step_up: int = 2,
+                 drain_occupancy: float = 1.0) -> None:
+        if slo_ttft_s <= 0:
+            raise ValueError("slo_ttft_s must be positive")
+        if not 0 < target_attainment <= 1:
+            raise ValueError("target_attainment must be in (0, 1]")
+        if step_up < 1:
+            raise ValueError("step_up must be >= 1")
+        if drain_occupancy < 0:
+            raise ValueError("drain_occupancy must be non-negative")
+        self.slo_ttft_s = slo_ttft_s
+        self.target_attainment = target_attainment
+        self.step_up = step_up
+        self.drain_occupancy = drain_occupancy
+
+    def desired_replicas(self, observation: FleetObservation) -> int:
+        launched = observation.launched
+        ttfts = observation.interval_ttft_s
+        if not ttfts:
+            if observation.outstanding_requests > 2 * launched:
+                return launched + self.step_up
+            if observation.outstanding_requests \
+                    <= (launched - 1) * self.drain_occupancy:
+                # nothing completed because (almost) nothing is here:
+                # an idle fleet must still converge to the minimum
+                return launched - 1
+            return launched
+        attained = sum(1 for t in ttfts if t <= self.slo_ttft_s) \
+            / len(ttfts)
+        if attained < self.target_attainment:
+            return launched + self.step_up
+        if observation.outstanding_requests \
+                <= (launched - 1) * self.drain_occupancy:
+            return launched - 1
+        return launched

@@ -16,13 +16,37 @@ runs apply in one shot, bit-identically), idle replicas skip their
 advance/snapshot bookkeeping entirely, and an already-sorted arrival
 stream is not re-sorted — together the per-arrival cost of a mostly-idle
 fleet drops to the router call itself.
+
+With an :class:`~repro.cluster.autoscaler.AutoscaleSpec` the fleet is
+*dynamic*: an autoscaler policy is evaluated on a fixed decision
+interval under the same simulated clock, and replicas move through a
+lifecycle — **provisioning** (launched, paying provision latency, not
+routable) → **ready** (routable) → **draining** (scale-down target:
+stops receiving routed requests but finishes every admitted one) →
+**retired** (drained and decommissioned).  Routers only ever see the
+ready, non-draining replicas, and they address them by *position in the
+snapshot sequence* (see :mod:`repro.cluster.router`), which the engine
+maps back to the concrete replica — ids stay correct even when the id
+space goes non-contiguous after a scale-down.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.cluster.report import ClusterResult, aggregate_cluster
+from repro.cluster.autoscaler import (
+    AutoscalerPolicy,
+    AutoscaleSpec,
+    FleetObservation,
+    make_autoscaler,
+)
+from repro.cluster.report import (
+    AutoscaleTrace,
+    ClusterResult,
+    FleetSample,
+    ScaleEvent,
+    aggregate_cluster,
+)
 from repro.cluster.router import ReplicaSnapshot, RouterPolicy, make_router
 from repro.models.config import ModelConfig
 from repro.perf.baselines import DeviceModel
@@ -37,7 +61,17 @@ from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
 
 class ReplicaSim:
     """One steppable replica: a continuous-batching endpoint with a
-    local clock that the cluster advances between arrivals."""
+    local clock that the cluster advances between arrivals.
+
+    Lifecycle (all timestamps on the cluster's simulated clock):
+    ``launched_at`` is when the autoscaler (or the initial fleet)
+    created the replica, ``ready_at`` when it finishes provisioning and
+    becomes routable, ``drain_started_at`` when a scale-down marked it
+    draining (no new routed requests; admitted work still finishes) and
+    ``retired_at`` when it drained and left the fleet.  A static fleet
+    never moves past "ready": every replica has ``launched_at ==
+    ready_at == 0.0`` and retires implicitly at the end of the run.
+    """
 
     def __init__(self, replica_id: int, engine: ServingEngine) -> None:
         self.replica_id = replica_id
@@ -56,6 +90,14 @@ class ReplicaSim:
         self.decode_time = 0.0
         self.prefill_time = 0.0
         self._snapshot: ReplicaSnapshot | None = None
+        # --- lifecycle (managed by the cluster engine) ---
+        self.launched_at = 0.0
+        self.ready_at = 0.0
+        self.from_warm_pool = False
+        self.draining = False
+        self.drain_started_at: float | None = None
+        self.retired_at: float | None = None
+        self.reported_finished = 0  # completions already seen by a decision
 
     # ------------------------------------------------------------------ #
     # Router-facing state                                                  #
@@ -216,6 +258,14 @@ class ClusterEngine:
     routers given by name) a fresh router instance, so two runs on one
     engine never share clocks, schedulers or session pins.  A router
     passed as an *instance* is reused as-is — the caller owns its state.
+
+    With ``autoscale`` set, ``replicas`` is the *initial* fleet size and
+    the named :class:`~repro.cluster.autoscaler.AutoscalerPolicy` is
+    consulted every ``decision_interval_s`` of simulated time; the run
+    then returns a :class:`ClusterResult` whose ``autoscale`` field
+    carries the scale-event log, fleet-size timeline and replica-seconds
+    accounting.  All built-ins are deterministic: the same stream and
+    spec always reproduce the identical assignment and scaling history.
     """
 
     def __init__(
@@ -227,9 +277,21 @@ class ClusterEngine:
         replicas: int = 2,
         router: str | RouterPolicy = "round-robin",
         fast_forward: bool = True,
+        autoscale: AutoscaleSpec | None = None,
+        autoscaler: AutoscalerPolicy | None = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if autoscale is not None and not (
+                autoscale.min_replicas <= replicas
+                <= autoscale.max_replicas):
+            raise ValueError(
+                f"initial replicas={replicas} outside the autoscale "
+                f"range [{autoscale.min_replicas}, "
+                f"{autoscale.max_replicas}]")
+        if autoscaler is not None and autoscale is None:
+            raise ValueError("autoscaler instance given without an "
+                             "AutoscaleSpec")
         self.device = device
         self.model = model
         self.limits = limits
@@ -237,29 +299,335 @@ class ClusterEngine:
         self.replicas = replicas
         self.router = router
         self.fast_forward = fast_forward
+        self.autoscale = autoscale
+        self.autoscaler = autoscaler
         make_router(router)  # fail on unknown names at construction
+        if autoscale is not None and autoscaler is None:
+            make_autoscaler(autoscale.policy)
+
+    def _new_replica(self, replica_id: int) -> ReplicaSim:
+        return ReplicaSim(replica_id,
+                          ServingEngine(self.device, self.model,
+                                        self.limits, self.num_devices,
+                                        fast_forward=self.fast_forward))
+
+    @staticmethod
+    def _route(router: RouterPolicy, request: Request,
+               routable: list[ReplicaSim]) -> ReplicaSim:
+        """One routing decision: snapshot, ask, map position -> replica.
+
+        The router returns a position in the snapshot sequence (see
+        :mod:`repro.cluster.router`); the engine owns the translation
+        back to the concrete replica, so router code never needs to
+        know that fleet ids can be non-contiguous.
+        """
+        snapshots = [replica.snapshot() for replica in routable]
+        position = router.route(request, snapshots)
+        if not 0 <= position < len(snapshots):
+            raise ValueError(
+                f"router returned replica index {position}, "
+                f"snapshot lists {len(snapshots)} replicas")
+        return routable[position]
 
     def run(self, requests: list[Request],
             max_sim_seconds: float = 600.0) -> ClusterResult:
         """Route the arrival stream, drain every replica, aggregate."""
-        fleet = [
-            ReplicaSim(i, ServingEngine(self.device, self.model,
-                                        self.limits, self.num_devices,
-                                        fast_forward=self.fast_forward))
-            for i in range(self.replicas)
-        ]
         router = make_router(self.router)
+        if self.autoscale is None:
+            return self._run_static(requests, max_sim_seconds, router)
+        return self._run_autoscaled(requests, max_sim_seconds, router)
+
+    def _run_static(self, requests: list[Request], max_sim_seconds: float,
+                    router: RouterPolicy) -> ClusterResult:
+        fleet = [self._new_replica(i) for i in range(self.replicas)]
         for request in _sorted_by_arrival(requests):
             arrival = request.arrival_time
             for replica in fleet:
                 replica.advance_to(arrival, max_sim_seconds)
-            snapshots = [replica.snapshot() for replica in fleet]
-            index = router.route(request, snapshots)
-            if not 0 <= index < len(fleet):
-                raise ValueError(
-                    f"router returned replica index {index}, "
-                    f"cluster has {len(fleet)} replicas")
-            fleet[index].submit(request)
+            self._route(router, request, fleet).submit(request)
         for replica in fleet:
             replica.advance_to(float("inf"), max_sim_seconds)
         return aggregate_cluster([r.result() for r in fleet])
+
+    def _run_autoscaled(self, requests: list[Request],
+                        max_sim_seconds: float,
+                        router: RouterPolicy) -> ClusterResult:
+        spec = self.autoscale
+        policy = self.autoscaler if self.autoscaler is not None \
+            else make_autoscaler(spec.policy)
+        fleet = _DynamicFleet(self._new_replica, spec, self.replicas)
+        next_decision = spec.decision_interval_s
+        for request in _sorted_by_arrival(requests):
+            arrival = request.arrival_time
+            while next_decision <= arrival \
+                    and next_decision <= max_sim_seconds:
+                fleet.decide(next_decision, max_sim_seconds, policy)
+                next_decision += spec.decision_interval_s
+            for replica in fleet.live:
+                replica.advance_to(arrival, max_sim_seconds)
+            routable = fleet.routable(arrival)
+            if not routable:
+                # structurally unreachable: scale-down cancels
+                # provisioning replicas before draining ready ones and
+                # clamps at min_replicas >= 1, so at least one ready,
+                # non-draining replica always exists
+                raise RuntimeError(
+                    "no routable replica in the autoscaled fleet")
+            self._route(router, request, routable).submit(request)
+            fleet.note_arrival()
+        # keep the control loop ticking until the fleet drains, so
+        # post-traffic scale-downs (and their replica-second savings)
+        # are part of the simulated history
+        while fleet.has_work() and next_decision <= max_sim_seconds:
+            fleet.decide(next_decision, max_sim_seconds, policy)
+            next_decision += spec.decision_interval_s
+        return fleet.finalize(max_sim_seconds)
+
+
+class _DynamicFleet:
+    """Replica lifecycle bookkeeping for one autoscaled cluster run.
+
+    Owns the live fleet, the warm pool stock, the scale-event log and
+    the per-interval timeline; :class:`ClusterEngine` drives it at
+    arrivals and decision instants.  Scale-ups pay the cold provision
+    latency unless warm stock is available; scale-downs cancel
+    still-provisioning replicas first (newest first — they hold no
+    work), then drain the ready replica with the fewest outstanding
+    requests (ties to the newest id).  Retiring a replica returns one
+    slot to the warm pool, capped at ``warm_pool_size``.
+    """
+
+    def __init__(self, new_replica, spec: AutoscaleSpec,
+                 initial: int) -> None:
+        self.new_replica = new_replica
+        self.spec = spec
+        self.live: list[ReplicaSim] = [new_replica(i)
+                                       for i in range(initial)]
+        self.everyone: list[ReplicaSim] = list(self.live)
+        self.initial = initial
+        self.next_id = initial
+        self.warm_stock = spec.warm_pool_size
+        self.events: list[ScaleEvent] = []
+        self.samples: list[FleetSample] = []
+        self.warm_launches = 0
+        self.cold_launches = 0
+        self._interval_arrivals = 0
+        self._last_decision = 0.0
+        self._busy_prev = 0.0
+        self._retired_busy = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                              #
+    # ------------------------------------------------------------------ #
+
+    def routable(self, now: float) -> list[ReplicaSim]:
+        """Ready, non-draining replicas — what the router may target."""
+        return [r for r in self.live
+                if not r.draining and r.ready_at <= now]
+
+    def has_work(self) -> bool:
+        return any(r.has_work for r in self.live)
+
+    def note_arrival(self) -> None:
+        self._interval_arrivals += 1
+
+    def _launched(self) -> list[ReplicaSim]:
+        """Ready + provisioning replicas: what counts toward ``desired``
+        (draining ones are already on their way out)."""
+        return [r for r in self.live if not r.draining]
+
+    # ------------------------------------------------------------------ #
+    # One decision instant                                                 #
+    # ------------------------------------------------------------------ #
+
+    def decide(self, now: float, horizon: float,
+               policy: AutoscalerPolicy) -> None:
+        spec = self.spec
+        for replica in self.live:
+            replica.advance_to(now, horizon)
+        interval_ttfts = self._collect_interval_ttfts()
+        self._retire_drained()
+        routable = self.routable(now)
+        launched = self._launched()
+        observation = FleetObservation(
+            clock_s=now,
+            interval_s=now - self._last_decision,
+            replicas=tuple(r.snapshot() for r in routable),
+            provisioning=len(launched) - len(routable),
+            draining=len(self.live) - len(launched),
+            min_replicas=spec.min_replicas,
+            max_replicas=spec.max_replicas,
+            interval_arrivals=self._interval_arrivals,
+            interval_ttft_s=tuple(interval_ttfts),
+        )
+        desired = int(policy.desired_replicas(observation))
+        desired = min(max(desired, spec.min_replicas), spec.max_replicas)
+        delta = desired - len(launched)
+        if delta > 0:
+            self._scale_up(now, delta)
+        elif delta < 0:
+            self._scale_down(now, -delta)
+        self._sample(now, observation)
+        self._interval_arrivals = 0
+        self._last_decision = now
+
+    def _collect_interval_ttfts(self) -> list[float]:
+        """TTFT of every request that completed since the last decision
+        (including on replicas that drained in the meantime)."""
+        ttfts: list[float] = []
+        for replica in self.live:
+            new = replica.finished[replica.reported_finished:]
+            replica.reported_finished = len(replica.finished)
+            ttfts.extend(r.ttft for r in new)
+        return ttfts
+
+    def _retire_drained(self) -> None:
+        kept = []
+        for replica in self.live:
+            if replica.draining and not replica.has_work:
+                # decommission backdated to when the last admitted
+                # request actually finished, not when the control loop
+                # noticed — replica-seconds stay honest
+                self._retire(replica,
+                             max(replica.now, replica.drain_started_at))
+            else:
+                kept.append(replica)
+        self.live = kept
+
+    def _retire(self, replica: ReplicaSim, when: float) -> None:
+        replica.retired_at = when
+        self._retired_busy += replica.busy
+        # a drained (once-ready) replica is a warm machine and refills
+        # the pool; a cancelled warm launch returns the slot it took.
+        # A cancelled *cold* launch never finished provisioning, so no
+        # warm machine exists to return.
+        if replica.ready_at <= when or replica.from_warm_pool:
+            self.warm_stock = min(self.warm_stock + 1,
+                                  self.spec.warm_pool_size)
+
+    def _scale_up(self, now: float, count: int) -> None:
+        spec = self.spec
+        warm_used = 0
+        ids = []
+        for _ in range(count):
+            warm = self.warm_stock > 0
+            if warm:
+                self.warm_stock -= 1
+                warm_used += 1
+                self.warm_launches += 1
+                latency = spec.warm_provision_s
+            else:
+                self.cold_launches += 1
+                latency = spec.provision_latency_s
+            replica = self.new_replica(self.next_id)
+            replica.launched_at = now
+            replica.ready_at = now + latency
+            replica.from_warm_pool = warm
+            ids.append(self.next_id)
+            self.next_id += 1
+            self.live.append(replica)
+            self.everyone.append(replica)
+        self.events.append(ScaleEvent(
+            clock_s=now, kind="up", delta=count,
+            replicas_after=len(self._launched()),
+            warm_used=warm_used, replica_ids=tuple(ids)))
+
+    def _scale_down(self, now: float, count: int) -> None:
+        ids = []
+        provisioning = sorted(
+            (r for r in self.live
+             if not r.draining and r.ready_at > now),
+            key=lambda r: -r.replica_id)
+        for replica in provisioning[:count]:
+            # never served traffic: cancel, don't drain
+            self._retire(replica, now)
+            self.live.remove(replica)
+            ids.append(replica.replica_id)
+        remaining = count - len(ids)
+        if remaining > 0:
+            ready = sorted(
+                (r for r in self.live
+                 if not r.draining and r.ready_at <= now),
+                key=lambda r: (r.outstanding_requests, -r.replica_id))
+            for replica in ready[:remaining]:
+                replica.draining = True
+                replica.drain_started_at = now
+                ids.append(replica.replica_id)
+            self._retire_drained()  # already-idle ones retire instantly
+        self.events.append(ScaleEvent(
+            clock_s=now, kind="down", delta=-count,
+            replicas_after=len(self._launched()),
+            warm_used=0, replica_ids=tuple(ids)))
+
+    def _sample(self, now: float, observation: FleetObservation) -> None:
+        """Timeline entry: the fleet composition *after* the decision
+        was enacted, plus the load/utilization the policy based it on."""
+        interval = now - self._last_decision
+        busy_total = sum(r.busy for r in self.live) + self._retired_busy
+        alive = self._alive_seconds(now - interval, now)
+        launched = self._launched()
+        ready = self.routable(now)
+        self.samples.append(FleetSample(
+            clock_s=now,
+            ready=len(ready),
+            provisioning=len(launched) - len(ready),
+            draining=len(self.live) - len(launched),
+            outstanding_requests=observation.outstanding_requests,
+            utilization=(busy_total - self._busy_prev) / alive
+            if alive > 0 else 0.0,
+        ))
+        self._busy_prev = busy_total
+
+    def _alive_seconds(self, start: float, end: float) -> float:
+        """Replica-seconds spent inside the window ``[start, end]``."""
+        total = 0.0
+        for replica in self.everyone:
+            stop = replica.retired_at if replica.retired_at is not None \
+                else end
+            total += max(0.0, min(stop, end) - max(replica.launched_at,
+                                                   start))
+        return total
+
+    # ------------------------------------------------------------------ #
+    # End of run                                                           #
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, horizon: float) -> ClusterResult:
+        for replica in self.live:
+            replica.advance_to(float("inf"), horizon)
+        self._retire_drained()
+        # the fleet wall clock: a never-ready replica never worked, so
+        # its zero-valued clock cannot set it
+        outcomes = [(replica, replica.result())
+                    for replica in self.everyone]
+        wall = max((result.total_time_s for _, result in outcomes),
+                   default=0.0)
+        results = [result for replica, result in outcomes
+                   if self._ever_ready(replica, wall)]
+        trace = AutoscaleTrace(
+            events=tuple(self.events),
+            timeline=tuple(self.samples),
+            replica_seconds=self._alive_seconds(0.0, wall),
+            launched=len(self.everyone),
+            retired=sum(1 for r in self.everyone
+                        if r.retired_at is not None),
+            # the timeline samples post-decision states only, so the
+            # fleet that ran before the first decision is the floor
+            peak_replicas=max([self.initial]
+                              + [s.ready + s.provisioning
+                                 for s in self.samples]),
+            warm_launches=self.warm_launches,
+            cold_launches=self.cold_launches,
+        )
+        return aggregate_cluster(results, autoscale=trace)
+
+    @staticmethod
+    def _ever_ready(replica: ReplicaSim, wall: float) -> bool:
+        """False for replicas that never finished provisioning — whether
+        cancelled by a scale-down or still mid-provision when the run
+        ended.  They never existed from the traffic's point of view, so
+        they carry no per-replica result (an all-zero entry would skew
+        the load-imbalance stats); they still cost replica-seconds."""
+        end = replica.retired_at if replica.retired_at is not None \
+            else wall
+        return replica.ready_at <= end

@@ -8,6 +8,12 @@ results into a single ``SimulationResult`` (wall time = the slowest
 replica, counters summed), computes the cluster :class:`QoSReport`, and
 derives :class:`LoadImbalanceStats` — the Fig. 13/16-style scalability
 numbers extended from one device group to a fleet.
+
+Autoscaled runs additionally record an :class:`AutoscaleTrace`: the
+scale-event log (:class:`ScaleEvent`), the per-decision fleet-size /
+utilization timeline (:class:`FleetSample`) and the replica-seconds the
+fleet consumed — the cost metric an elastic fleet is supposed to beat a
+fixed max-size fleet on.
 """
 
 from __future__ import annotations
@@ -101,12 +107,78 @@ def merge_results(replica_results: Sequence[SimulationResult]
 
 
 @dataclass(frozen=True)
+class ScaleEvent:
+    """One enacted autoscaler decision."""
+
+    clock_s: float
+    kind: str                    # "up" | "down"
+    delta: int                   # signed replica-count change
+    replicas_after: int          # launched (ready + provisioning) after
+    warm_used: int               # scale-up launches served from the pool
+    replica_ids: tuple[int, ...]  # launched / drained / cancelled ids
+
+
+@dataclass(frozen=True)
+class FleetSample:
+    """The fleet at one decision instant of an autoscaled run.
+
+    Composition (``ready`` / ``provisioning`` / ``draining``) is the
+    state *after* the decision was enacted; ``outstanding_requests`` is
+    the load the policy based the decision on, and ``utilization`` is
+    the fleet busy time over the replica-seconds alive in the elapsed
+    interval — the per-interval efficiency an autoscaler exists to keep
+    high.
+    """
+
+    clock_s: float
+    ready: int
+    provisioning: int
+    draining: int
+    outstanding_requests: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class AutoscaleTrace:
+    """Scaling history of one autoscaled cluster run.
+
+    ``replica_seconds`` integrates fleet size over the run's wall clock
+    (provisioning time included — capacity is paid for from launch, and
+    a drained replica stops costing the moment its last admitted request
+    finished).  A fixed fleet of N over wall time T costs exactly
+    ``N * T``; the committed autoscale bench compares the two.
+    """
+
+    events: tuple[ScaleEvent, ...]
+    timeline: tuple[FleetSample, ...]
+    replica_seconds: float
+    launched: int                # replicas ever created (initial + ups)
+    retired: int                 # drained or cancelled before the end
+    peak_replicas: int           # max launched count over the timeline
+    warm_launches: int
+    cold_launches: int
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for e in self.events if e.kind == "up")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for e in self.events if e.kind == "down")
+
+
+@dataclass(frozen=True)
 class ClusterResult:
-    """Outcome of one cluster simulation."""
+    """Outcome of one cluster simulation.
+
+    ``autoscale`` is ``None`` for fixed fleets; autoscaled runs carry
+    the full scaling history.
+    """
 
     replica_results: tuple[SimulationResult, ...]
     merged: SimulationResult
     load: LoadImbalanceStats
+    autoscale: AutoscaleTrace | None = None
 
     @property
     def replica_count(self) -> int:
@@ -118,11 +190,13 @@ class ClusterResult:
         return compute_qos(self.merged.finished, self.merged.total_time_s)
 
 
-def aggregate_cluster(replica_results: Sequence[SimulationResult]
+def aggregate_cluster(replica_results: Sequence[SimulationResult],
+                      autoscale: AutoscaleTrace | None = None
                       ) -> ClusterResult:
     """Bundle per-replica results with their merged view and load stats."""
     return ClusterResult(
         replica_results=tuple(replica_results),
         merged=merge_results(replica_results),
         load=load_imbalance(replica_results),
+        autoscale=autoscale,
     )

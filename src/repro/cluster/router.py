@@ -11,8 +11,18 @@ address it as ``DeploymentSpec.router``::
 
     @register_router("my-policy")
     class MyRouter:
-        def route(self, request, replicas):  # -> replica index
+        def route(self, request, replicas):  # -> position in `replicas`
             ...
+
+**The routing contract**: ``route`` returns a *position in the snapshot
+sequence it was handed*, not a ``ReplicaSnapshot.replica_id``.  The two
+coincide on a fixed fleet (ids are assigned 0..N-1 in position order),
+but an autoscaled fleet retires replicas from the middle of the id
+space, so the snapshot sequence is the only stable frame of reference a
+policy has.  Policies that want to remember a replica across calls
+(e.g. session affinity) must store the ``replica_id`` and translate it
+back to a position through the snapshots they are given — ids are
+durable, positions are per-call.
 
 Built-ins:
 
@@ -59,7 +69,7 @@ class RouterPolicy(Protocol):
 
     def route(self, request: Request,
               replicas: Sequence[ReplicaSnapshot]) -> int:
-        """Return the index of the replica ``request`` joins."""
+        """Return the position in ``replicas`` the request joins."""
         ...
 
 
@@ -94,28 +104,46 @@ def list_routers() -> list[str]:
 
 
 def _least_outstanding(replicas: Sequence[ReplicaSnapshot]) -> int:
-    return min(replicas,
-               key=lambda s: (s.outstanding_requests, s.replica_id)
-               ).replica_id
+    # position, not replica_id: the two only coincide on a fixed fleet.
+    # Ties still break on the (durable) id so the choice is deterministic
+    # regardless of how the engine happens to order its snapshots.
+    return min(range(len(replicas)),
+               key=lambda i: (replicas[i].outstanding_requests,
+                              replicas[i].replica_id))
 
 
 def _least_outstanding_tokens(replicas: Sequence[ReplicaSnapshot]) -> int:
-    return min(replicas,
-               key=lambda s: (s.outstanding_tokens, s.replica_id)
-               ).replica_id
+    return min(range(len(replicas)),
+               key=lambda i: (replicas[i].outstanding_tokens,
+                              replicas[i].replica_id))
 
 
 @register_router("round-robin")
 class RoundRobinRouter:
-    """Cycle through replicas in arrival order (load-blind)."""
+    """Cycle through replicas in arrival order (load-blind).
+
+    The cursor cycles over *current snapshot positions*, keeping its
+    phase across fleet-size changes and clamping back to 0 only when a
+    shrink leaves it out of range.  Each size-epoch therefore
+    round-robins cleanly — a bare ``counter % len(replicas)`` would
+    skew after a resize (an unclamped counter lands on an arbitrary
+    phase and can starve or double-feed positions for a full lap),
+    while resetting to 0 on *every* size change would bias position 0
+    whenever the routable count oscillates between arrivals (replicas
+    finishing provisioning or starting to drain).  On a fixed fleet
+    neither correction fires and the assignment is the classic
+    0,1,...,N-1 cycle.
+    """
 
     def __init__(self) -> None:
         self._next = 0
 
     def route(self, request: Request,
               replicas: Sequence[ReplicaSnapshot]) -> int:
-        index = self._next % len(replicas)
-        self._next += 1
+        if self._next >= len(replicas):
+            self._next = 0
+        index = self._next
+        self._next = (self._next + 1) % len(replicas)
         return index
 
 
@@ -136,20 +164,32 @@ class SessionAffinityRouter:
     follow it regardless of load, modeling the KV-prefix locality a real
     deployment buys with consistent hashing.  Requests without a
     ``session_id`` degrade to least-outstanding.
+
+    Homes are remembered by ``replica_id`` — the durable name — and
+    translated to a position through the snapshots of each call.  A
+    session whose home replica was scaled away (its id no longer
+    appears in the snapshot sequence) is re-pinned to the current
+    shortest queue; checking id *membership* rather than ``home <
+    len(replicas)`` matters because a post-scale-down fleet keeps
+    non-contiguous ids (e.g. ``[0, 2, 3]``), where the old length guard
+    would both evict live homes and follow stale ones.
     """
 
     def __init__(self) -> None:
-        self._home: dict[int, int] = {}
+        self._home: dict[int, int] = {}   # session_id -> replica_id
 
     def route(self, request: Request,
               replicas: Sequence[ReplicaSnapshot]) -> int:
         if request.session_id is None:
             return _least_outstanding(replicas)
+        position_of = {snapshot.replica_id: position
+                       for position, snapshot in enumerate(replicas)}
         home = self._home.get(request.session_id)
-        if home is None or home >= len(replicas):
-            home = _least_outstanding(replicas)
-            self._home[request.session_id] = home
-        return home
+        position = position_of.get(home) if home is not None else None
+        if position is None:
+            position = _least_outstanding(replicas)
+            self._home[request.session_id] = replicas[position].replica_id
+        return position
 
 
 @register_router("slo-aware")

@@ -6,8 +6,10 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    AutoscaleSpec,
     CapacityReport,
     CapacitySpec,
+    ClusterReport,
     DeploymentSpec,
     EndpointOverloaded,
     Experiment,
@@ -424,3 +426,97 @@ class TestEngineHorizonClamp:
         assert result.total_time_s <= 10.0
         assert len(result.finished) == 1
         assert len(result.unfinished) == 1
+
+
+# --------------------------------------------------------------------- #
+# Autoscale specs through the declarative surface                        #
+# --------------------------------------------------------------------- #
+
+class TestAutoscaleSpecApi:
+    def test_autoscale_spec_round_trip(self):
+        spec = AutoscaleSpec(policy="slo-attainment", min_replicas=2,
+                             max_replicas=12, decision_interval_s=0.5,
+                             provision_latency_s=20.0, warm_pool_size=3,
+                             warm_provision_s=1.5)
+        clone = AutoscaleSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_deployment_with_autoscale_round_trips(self):
+        spec = DeploymentSpec(chip="ador", replicas=2,
+                              router="least-outstanding",
+                              autoscale=AutoscaleSpec(max_replicas=6))
+        clone = DeploymentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.autoscale == spec.autoscale
+
+    def test_experiment_with_autoscale_round_trips(self):
+        experiment = Experiment(
+            deployment=DeploymentSpec(
+                chip="ador", replicas=1,
+                autoscale=AutoscaleSpec(policy="queue-depth",
+                                        warm_pool_size=2,
+                                        warm_provision_s=0.5)),
+            workload=WorkloadSpec(rate_per_s=30.0, num_requests=60,
+                                  seed=3),
+            name="autoscale-round-trip",
+        )
+        clone = Experiment.from_dict(
+            json.loads(json.dumps(experiment.to_dict())))
+        assert clone == experiment
+
+    def test_old_deployment_dicts_default_to_no_autoscale(self):
+        spec = DeploymentSpec.from_dict({"chip": "ador", "replicas": 2})
+        assert spec.autoscale is None
+        assert spec.to_dict()["autoscale"] is None
+
+    def test_unknown_autoscale_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown autoscale field"):
+            AutoscaleSpec.from_dict({"policy": "queue-depth",
+                                     "max_replicass": 4})
+
+    def test_autoscale_section_must_be_an_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            DeploymentSpec.from_dict({"chip": "ador",
+                                      "autoscale": "queue-depth"})
+
+    def test_initial_replicas_validated_against_range(self):
+        with pytest.raises(ValueError, match="autoscale range"):
+            DeploymentSpec(replicas=9, autoscale=AutoscaleSpec(
+                max_replicas=4))
+        with pytest.raises(ValueError, match="autoscale range"):
+            DeploymentSpec(replicas=1, autoscale=AutoscaleSpec(
+                min_replicas=2))
+
+    def test_simulate_dispatches_on_autoscale_even_single_replica(self):
+        report = simulate(
+            DeploymentSpec(chip="ador", replicas=1,
+                           autoscale=AutoscaleSpec(
+                               max_replicas=4, decision_interval_s=1.0,
+                               provision_latency_s=2.0)),
+            WorkloadSpec(rate_per_s=30.0, num_requests=80, seed=7))
+        assert isinstance(report, ClusterReport)
+        assert report.autoscale is not None
+        assert report.autoscale.peak_replicas >= 2
+        assert "autoscaler" in report.summary()
+        assert "replica-seconds" in report.summary()
+
+    def test_autoscaled_simulation_is_reproducible(self):
+        deployment = DeploymentSpec(
+            chip="ador", replicas=1,
+            autoscale=AutoscaleSpec(max_replicas=4,
+                                    decision_interval_s=1.0,
+                                    provision_latency_s=2.0))
+        workload = WorkloadSpec(rate_per_s=30.0, num_requests=80, seed=7)
+        first = simulate(deployment, workload)
+        second = simulate(deployment, workload)
+        assert first.qos == second.qos
+        assert first.autoscale == second.autoscale
+
+    def test_find_capacity_rejects_autoscaled_deployments(self):
+        with pytest.raises(ValueError, match="autoscale"):
+            find_capacity(
+                DeploymentSpec(chip="ador",
+                               autoscale=AutoscaleSpec()),
+                WorkloadSpec(num_requests=10))

@@ -111,3 +111,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "proposed:" in out
         assert "requirements met" in out
+
+
+class TestAutoscaleCli:
+    def test_serve_autoscale_reports_scaling(self, capsys):
+        code = main(["serve", "--rate", "30", "--requests", "80",
+                     "--replicas", "1", "--autoscale", "queue-depth",
+                     "--autoscale-max", "4", "--autoscale-interval", "1",
+                     "--autoscale-provision-s", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autoscaler : queue-depth" in out
+        assert "replica-seconds" in out
+
+    def test_autoscale_knob_without_policy_fails_loudly(self, capsys):
+        assert main(["serve", "--autoscale-max", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "--autoscale-max" in err and "--autoscale" in err
+
+    def test_unknown_autoscale_policy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--autoscale", "nope"])
+
+    def test_run_autoscale_override_and_strip(self, capsys, tmp_path):
+        experiment = {
+            "deployment": {"chip": "ador", "max_batch": 32,
+                           "replicas": 1,
+                           "autoscale": {"policy": "queue-depth",
+                                         "max_replicas": 4,
+                                         "decision_interval_s": 1.0,
+                                         "provision_latency_s": 2.0,
+                                         "warm_provision_s": 1.0}},
+            "workload": {"trace": "ultrachat", "rate_per_s": 30.0,
+                         "num_requests": 60, "seed": 7},
+        }
+        path = tmp_path / "autoscale.json"
+        path.write_text(json.dumps(experiment))
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "autoscaler : queue-depth" in out
+        # switch the policy from the command line, keep the other knobs
+        assert main(["run", str(path), "--autoscale",
+                     "slo-attainment"]) == 0
+        out = capsys.readouterr().out
+        assert "autoscaler : slo-attainment" in out
+        # strip the autoscale section entirely: fixed single endpoint
+        assert main(["run", str(path), "--no-autoscale"]) == 0
+        out = capsys.readouterr().out
+        assert "autoscaler" not in out
+        # conflicting flags fail loudly instead of silently picking one
+        assert main(["run", str(path), "--autoscale", "queue-depth",
+                     "--no-autoscale"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -18,9 +18,13 @@ from repro.api import (
     simulate_cluster,
 )
 from repro.cluster import (
+    AutoscaleSpec,
     ClusterEngine,
+    FleetObservation,
     ReplicaSnapshot,
+    list_autoscalers,
     list_routers,
+    make_autoscaler,
     make_router,
 )
 from repro.core.scheduling import device_model_for
@@ -363,3 +367,539 @@ class TestClusterSpecsAndFacade:
         assert isinstance(report, ClusterReport)
         assert len(report.result.finished) > 0
         assert not math.isnan(report.qos.ttft_p95_s)
+
+
+# --------------------------------------------------------------------- #
+# Router contract: positions, not replica ids                            #
+# --------------------------------------------------------------------- #
+
+def snapshot_for(replica_id, outstanding, tokens=None):
+    """A snapshot with an explicit (possibly non-contiguous) replica id."""
+    tokens = tokens if tokens is not None else outstanding * 100
+    return ReplicaSnapshot(replica_id=replica_id, clock_s=0.0,
+                           outstanding_requests=outstanding,
+                           outstanding_tokens=tokens,
+                           queued_requests=0, active_requests=outstanding,
+                           assigned_requests=outstanding,
+                           assigned_tokens=tokens)
+
+
+def _legacy_least_outstanding(replicas):
+    """The pre-fix id-returning JSQ — correct only while ids == positions."""
+    return min(replicas,
+               key=lambda s: (s.outstanding_requests, s.replica_id)
+               ).replica_id
+
+
+class LegacyRoundRobin:
+    """Verbatim pre-fix round-robin (bare counter, no epoch reset)."""
+
+    def __init__(self):
+        self._next = 0
+
+    def route(self, request, replicas):
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+class LegacyLeastOutstanding:
+    def route(self, request, replicas):
+        return _legacy_least_outstanding(replicas)
+
+
+class LegacySessionAffinity:
+    """Verbatim pre-fix stickiness: homes stored as ids, length guard."""
+
+    def __init__(self):
+        self._home = {}
+
+    def route(self, request, replicas):
+        if request.session_id is None:
+            return _legacy_least_outstanding(replicas)
+        home = self._home.get(request.session_id)
+        if home is None or home >= len(replicas):
+            home = _legacy_least_outstanding(replicas)
+            self._home[request.session_id] = home
+        return home
+
+
+class LegacySloAware:
+    def __init__(self, short_input_tokens=256):
+        self.short_input_tokens = short_input_tokens
+
+    def route(self, request, replicas):
+        if request.input_tokens <= self.short_input_tokens:
+            return _legacy_least_outstanding(replicas)
+        return min(replicas,
+                   key=lambda s: (s.outstanding_tokens, s.replica_id)
+                   ).replica_id
+
+
+class TestRouterContractParity:
+    """Fixed-fleet runs are bit-identical across the id->position fix.
+
+    The legacy routers return ``replica_id``s (the pre-fix semantics);
+    on a static fleet ids and positions coincide, so running them
+    through the position-based engine must reproduce the exact
+    assignment and QoS of the fixed builtins.
+    """
+
+    LEGACY = {
+        "round-robin": LegacyRoundRobin,
+        "least-outstanding": LegacyLeastOutstanding,
+        "session-affinity": LegacySessionAffinity,
+        "slo-aware": LegacySloAware,
+    }
+
+    @staticmethod
+    def _session_stream():
+        rng = np.random.default_rng(23)
+        return MultiTurnSessionGenerator(SessionConfig(), rng) \
+            .generate_stream(sessions=50, session_rate_per_s=6.0)
+
+    @staticmethod
+    def _assignment(result):
+        return tuple(
+            tuple(sorted(r.request_id
+                         for r in replica.finished + replica.unfinished))
+            for replica in result.replica_results)
+
+    @pytest.mark.parametrize("router", sorted(LEGACY))
+    def test_fixed_fleet_bit_identical(self, ador_device, llama3, router):
+        limits = SchedulerLimits(max_batch=32)
+        new = ClusterEngine(ador_device, llama3, limits, replicas=4,
+                            router=router).run(
+            self._session_stream(), max_sim_seconds=600.0)
+        legacy = ClusterEngine(ador_device, llama3, limits, replicas=4,
+                               router=self.LEGACY[router]()).run(
+            self._session_stream(), max_sim_seconds=600.0)
+        assert self._assignment(new) == self._assignment(legacy)
+        assert new.qos() == legacy.qos()
+        assert new.merged.total_time_s == legacy.merged.total_time_s
+        assert new.merged.iterations == legacy.merged.iterations
+
+
+class TestRoutersOnDynamicFleets:
+    def test_round_robin_cycles_cleanly_across_size_epochs(self):
+        router = make_router("round-robin")
+        three = snapshots([0, 0, 0])
+        assert [router.route(request(i), three) for i in range(4)] \
+            == [0, 1, 2, 0]
+        # fleet grows mid-cycle: the cursor keeps its phase and the new
+        # position joins the rotation this lap
+        four = snapshots([0, 0, 0, 0])
+        assert [router.route(request(i), four) for i in range(4)] \
+            == [1, 2, 3, 0]
+        # a shrink clamps the out-of-range cursor and cycles cleanly
+        # over the smaller fleet
+        two = snapshots([0, 0])
+        assert [router.route(request(i), two) for i in range(4)] \
+            == [1, 0, 1, 0]
+
+    def test_round_robin_oscillating_size_does_not_pin_position_zero(self):
+        """Replicas finishing provisioning / starting to drain flip the
+        routable count between consecutive arrivals; the cursor must
+        keep rotating instead of resetting to position 0 every time."""
+        router = make_router("round-robin")
+        picks = []
+        for i in range(8):
+            size = 3 if i % 2 else 2
+            picks.append(router.route(request(i), snapshots([0] * size)))
+        assert picks.count(0) <= len(picks) // 2
+
+    def test_round_robin_fixed_fleet_unchanged(self):
+        router = make_router("round-robin")
+        three = snapshots([0, 0, 0])
+        assert [router.route(request(i), three) for i in range(7)] \
+            == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_least_outstanding_returns_position_not_id(self):
+        router = make_router("least-outstanding")
+        # after a scale-down the fleet keeps non-contiguous ids; the
+        # emptiest replica (id 7) sits at position 1
+        snaps = [snapshot_for(2, 4), snapshot_for(7, 0), snapshot_for(9, 2)]
+        assert router.route(request(), snaps) == 1
+
+    def test_session_affinity_follows_home_to_its_new_position(self):
+        router = make_router("session-affinity")
+        full = [snapshot_for(0, 5), snapshot_for(1, 2), snapshot_for(2, 0),
+                snapshot_for(3, 1)]
+        assert router.route(request(0, session=9), full) == 2  # home id 2
+        # replicas 0 and 1 scaled away: id 2 now sits at position 0
+        shrunk = [snapshot_for(2, 9), snapshot_for(3, 0)]
+        assert router.route(request(1, session=9), shrunk) == 0
+
+    def test_session_affinity_repins_when_home_scaled_away(self):
+        router = make_router("session-affinity")
+        full = [snapshot_for(0, 5), snapshot_for(1, 0), snapshot_for(2, 1),
+                snapshot_for(3, 2)]
+        assert router.route(request(0, session=9), full) == 1  # home id 1
+        # id 1 was scaled away; ids are non-contiguous, so the old
+        # `home >= len(replicas)` guard would have silently followed
+        # position 1 (now id 2) — membership re-pins instead
+        shrunk = [snapshot_for(0, 5), snapshot_for(2, 3), snapshot_for(3, 0)]
+        assert router.route(request(1, session=9), shrunk) == 2  # id 3
+        # the re-pin is sticky by id even when load shifts
+        shifted = [snapshot_for(0, 0), snapshot_for(2, 0), snapshot_for(3, 9)]
+        assert router.route(request(2, session=9), shifted) == 2
+
+
+# --------------------------------------------------------------------- #
+# Autoscaling                                                            #
+# --------------------------------------------------------------------- #
+
+class SchedulePolicy:
+    """Test autoscaler: desired size follows an explicit time schedule."""
+
+    def __init__(self, schedule):
+        self.schedule = schedule  # [(from_clock_s, desired), ...]
+
+    def desired_replicas(self, observation):
+        desired = observation.launched
+        for start, target in self.schedule:
+            if observation.clock_s >= start:
+                desired = target
+        return desired
+
+
+def observation(outstanding_each, clock=10.0, provisioning=0,
+                ttfts=(), arrivals=0):
+    return FleetObservation(
+        clock_s=clock, interval_s=1.0,
+        replicas=tuple(snapshot_for(i, o)
+                       for i, o in enumerate(outstanding_each)),
+        provisioning=provisioning, draining=0,
+        min_replicas=1, max_replicas=64,
+        interval_arrivals=arrivals, interval_ttft_s=tuple(ttfts))
+
+
+class TestAutoscalerPolicies:
+    def test_builtins_registered(self):
+        assert {"queue-depth", "slo-attainment"} <= set(list_autoscalers())
+
+    def test_unknown_policy_fails_loudly(self):
+        with pytest.raises(KeyError, match="autoscaler policy"):
+            make_autoscaler("no-such-policy")
+
+    def test_queue_depth_scales_to_the_backlog_in_one_step(self):
+        policy = make_autoscaler("queue-depth")  # target 4 per replica
+        assert policy.desired_replicas(observation([10, 10])) == 5
+
+    def test_queue_depth_holds_inside_hysteresis_band(self):
+        policy = make_autoscaler("queue-depth")
+        # 3 per replica: under target (4) but over the shrink bar (2)
+        assert policy.desired_replicas(observation([3, 3, 3])) == 3
+
+    def test_queue_depth_shrinks_when_comfortably_idle(self):
+        policy = make_autoscaler("queue-depth")
+        assert policy.desired_replicas(observation([1, 0, 0])) == 1
+        assert policy.desired_replicas(observation([0, 0, 0])) == 0  # clamped by engine
+
+    def test_slo_attainment_grows_on_missed_ttft(self):
+        policy = make_autoscaler("slo-attainment")  # slo 0.5s, target 95%
+        obs = observation([2, 2], ttfts=(0.1, 0.2, 0.9, 1.5))  # 50% attained
+        assert policy.desired_replicas(obs) == 4  # +step_up (2)
+
+    def test_slo_attainment_holds_when_attaining(self):
+        policy = make_autoscaler("slo-attainment")
+        obs = observation([2, 2], ttfts=(0.1, 0.2, 0.3))
+        assert policy.desired_replicas(obs) == 2
+
+    def test_slo_attainment_shrinks_when_attaining_and_idle(self):
+        policy = make_autoscaler("slo-attainment")
+        obs = observation([1, 0, 0], ttfts=(0.1, 0.2))
+        assert policy.desired_replicas(obs) == 2
+
+    def test_slo_attainment_treats_blind_backlog_as_risk(self):
+        policy = make_autoscaler("slo-attainment")
+        obs = observation([5, 4], ttfts=(), arrivals=9)  # burst onset
+        assert policy.desired_replicas(obs) == 4
+
+    def test_slo_attainment_shrinks_an_idle_fleet(self):
+        """A post-burst lull has no completions at all; the fleet must
+        still converge to the minimum rather than idling at its peak."""
+        policy = make_autoscaler("slo-attainment")
+        obs = observation([0, 0, 0, 0], ttfts=(), arrivals=0)
+        assert policy.desired_replicas(obs) == 3
+
+
+class TestAutoscaleSpecValidation:
+    def test_defaults_valid(self):
+        AutoscaleSpec()
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError, match="min_replicas"):
+            AutoscaleSpec(min_replicas=0)
+        with pytest.raises(ValueError, match="max_replicas"):
+            AutoscaleSpec(min_replicas=4, max_replicas=2)
+        with pytest.raises(ValueError, match="decision_interval_s"):
+            AutoscaleSpec(decision_interval_s=0.0)
+        with pytest.raises(ValueError, match="warm_provision_s"):
+            AutoscaleSpec(provision_latency_s=1.0, warm_provision_s=2.0,
+                          warm_pool_size=1)
+
+    def test_float_replica_counts_rejected_at_spec_load(self):
+        """JSON yields 8.0 where 8 was meant; that must fail loudly at
+        the spec, not as a range() TypeError mid-simulation."""
+        with pytest.raises(ValueError, match="max_replicas.*integer"):
+            AutoscaleSpec.from_dict({"policy": "queue-depth",
+                                     "min_replicas": 2,
+                                     "max_replicas": 8.0})
+        with pytest.raises(ValueError, match="warm_pool_size.*integer"):
+            AutoscaleSpec(warm_pool_size=1.5)
+
+    def test_disabled_warm_pool_does_not_constrain_cold_latency(self):
+        """Sub-second cold starts must not require tuning the (unused)
+        warm latency when the pool is disabled."""
+        spec = AutoscaleSpec(provision_latency_s=0.5)
+        assert spec.warm_pool_size == 0
+
+    def test_engine_rejects_initial_size_outside_range(self, ador_device,
+                                                       llama3):
+        with pytest.raises(ValueError, match="autoscale range"):
+            ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                          replicas=9,
+                          autoscale=AutoscaleSpec(max_replicas=4))
+
+    def test_engine_rejects_unknown_policy_at_construction(
+            self, ador_device, llama3):
+        with pytest.raises(KeyError, match="autoscaler policy"):
+            ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                          replicas=1,
+                          autoscale=AutoscaleSpec(policy="nope"))
+
+
+class TestAutoscaledCluster:
+    SPEC = AutoscaleSpec(policy="queue-depth", min_replicas=1,
+                         max_replicas=6, decision_interval_s=1.0,
+                         provision_latency_s=3.0, warm_pool_size=2,
+                         warm_provision_s=0.5)
+
+    def _engine(self, device, model, **kwargs):
+        defaults = dict(replicas=1, router="least-outstanding",
+                        autoscale=self.SPEC)
+        defaults.update(kwargs)
+        return ClusterEngine(device, model, SchedulerLimits(max_batch=32),
+                             **defaults)
+
+    def test_fleet_grows_under_load_then_drains(self, ador_device, llama3):
+        result = self._engine(ador_device, llama3).run(
+            poisson_requests(40.0, 300), max_sim_seconds=600.0)
+        trace = result.autoscale
+        assert trace is not None
+        assert trace.peak_replicas > 1
+        assert trace.scale_ups >= 1
+        assert trace.scale_downs >= 1
+        assert trace.launched > 1
+        # the timeline ends with the fleet back at the minimum
+        assert trace.timeline[-1].ready == self.SPEC.min_replicas
+        assert len(result.merged.finished) == 300
+
+    def test_static_results_carry_no_trace(self, ador_device, llama3):
+        result = ClusterEngine(ador_device, llama3, SchedulerLimits(),
+                               replicas=2).run(
+            poisson_requests(10.0, 40), max_sim_seconds=600.0)
+        assert result.autoscale is None
+
+    def test_deterministic_scaling_history(self, ador_device, llama3):
+        def run_once():
+            result = self._engine(ador_device, llama3).run(
+                poisson_requests(40.0, 300), max_sim_seconds=600.0)
+            return result.autoscale, result.qos()
+
+        first_trace, first_qos = run_once()
+        second_trace, second_qos = run_once()
+        assert first_trace == second_trace
+        assert first_qos == second_qos
+
+    def test_drain_loses_no_request(self, ador_device, llama3):
+        """Scale-downs while work is in flight: every routed request is
+        served exactly once, and drained replicas finish their work."""
+        requests = poisson_requests(25.0, 250)  # ~10 s of traffic
+        engine = ClusterEngine(
+            ador_device, llama3, SchedulerLimits(max_batch=32),
+            replicas=4, router="least-outstanding",
+            autoscale=AutoscaleSpec(policy="queue-depth", min_replicas=1,
+                                    max_replicas=4,
+                                    decision_interval_s=1.0,
+                                    provision_latency_s=1.0),
+            # forced shrink mid-traffic: replicas drain while loaded
+            autoscaler=SchedulePolicy([(3.0, 1)]))
+        result = engine.run(requests, max_sim_seconds=600.0)
+        trace = result.autoscale
+        last_arrival = max(r.arrival_time for r in requests)
+        in_flight_downs = [e for e in trace.events
+                           if e.kind == "down" and e.clock_s <= last_arrival]
+        assert in_flight_downs, "expected scale-downs during traffic"
+        seen = result.merged.finished + result.merged.unfinished
+        assert len(seen) == len(requests)
+        assert len(set(seen)) == len(requests)
+        assert not result.merged.unfinished
+        assert trace.retired >= len(in_flight_downs)
+
+    def test_scale_down_with_session_affinity_repins(self, ador_device,
+                                                     llama3):
+        """Sessions homed on a drained replica re-pin and finish."""
+        rng = np.random.default_rng(11)
+        requests = MultiTurnSessionGenerator(
+            SessionConfig(), rng).generate_stream(
+            sessions=60, session_rate_per_s=6.0)
+        result = self._engine(ador_device, llama3,
+                              router="session-affinity").run(
+            requests, max_sim_seconds=600.0)
+        assert result.autoscale.scale_downs >= 1
+        assert len(result.merged.finished) == len(requests)
+
+    def test_warm_pool_shortens_provisioning(self, ador_device, llama3):
+        """With warm stock the first decision's launches come up at the
+        warm latency; the cold fleet is still provisioning then."""
+        spec = AutoscaleSpec(policy="queue-depth", min_replicas=1,
+                             max_replicas=4, decision_interval_s=1.0,
+                             provision_latency_s=4.0, warm_pool_size=2,
+                             warm_provision_s=0.5)
+        cold_spec = AutoscaleSpec(policy="queue-depth", min_replicas=1,
+                                  max_replicas=4, decision_interval_s=1.0,
+                                  provision_latency_s=4.0)
+
+        def timeline(autoscale_spec):
+            engine = ClusterEngine(ador_device, llama3,
+                                   SchedulerLimits(max_batch=32),
+                                   replicas=1, autoscale=autoscale_spec,
+                                   autoscaler=SchedulePolicy([(1.0, 3)]))
+            result = engine.run(poisson_requests(6.0, 60),
+                                max_sim_seconds=600.0)
+            return result.autoscale
+
+        warm = timeline(spec)
+        cold = timeline(cold_spec)
+        assert warm.warm_launches == 2 and warm.cold_launches == 0
+        assert cold.warm_launches == 0 and cold.cold_launches == 2
+        up = next(e for e in warm.events if e.kind == "up")
+        assert up.warm_used == 2
+
+        def ready_at(trace, clock):
+            return next(s.ready for s in trace.timeline
+                        if s.clock_s == pytest.approx(clock))
+
+        # launch happens at t=1: warm replicas (0.5 s) are ready by the
+        # t=2 decision; cold ones (4 s) are still provisioning until t=5
+        assert ready_at(warm, 2.0) == 3
+        assert ready_at(cold, 2.0) == 1
+        assert ready_at(cold, 5.0) == 3
+
+    def test_scale_down_cancels_provisioning_before_draining(
+            self, ador_device, llama3):
+        """An up immediately followed by a down cancels the launches
+        that never became ready, and the cancelled replicas carry no
+        per-replica result."""
+        engine = ClusterEngine(
+            ador_device, llama3, SchedulerLimits(max_batch=32),
+            replicas=2, router="least-outstanding",
+            autoscale=AutoscaleSpec(policy="queue-depth", min_replicas=1,
+                                    max_replicas=6,
+                                    decision_interval_s=1.0,
+                                    provision_latency_s=30.0),
+            autoscaler=SchedulePolicy([(1.0, 6), (2.0, 1)]))
+        requests = poisson_requests(6.0, 60)
+        result = engine.run(requests, max_sim_seconds=600.0)
+        trace = result.autoscale
+        assert trace.launched == 6          # 2 initial + 4 provisioned
+        # the 4 cancelled launches never served traffic -> no results
+        assert len(result.replica_results) <= 2
+        assert len(result.merged.finished) == 60
+
+    def test_min_and_max_clamp_the_policy(self, ador_device, llama3):
+        engine = ClusterEngine(
+            ador_device, llama3, SchedulerLimits(max_batch=32),
+            replicas=2, router="least-outstanding",
+            autoscale=AutoscaleSpec(policy="queue-depth", min_replicas=2,
+                                    max_replicas=3,
+                                    decision_interval_s=1.0,
+                                    provision_latency_s=0.5,
+                                    warm_provision_s=0.5),
+            autoscaler=SchedulePolicy([(1.0, 50), (4.0, 0)]))
+        result = engine.run(poisson_requests(20.0, 150),
+                            max_sim_seconds=600.0)
+        trace = result.autoscale
+        sizes = [s.ready + s.provisioning for s in trace.timeline]
+        assert max(sizes) <= 3
+        assert min(sizes) >= 2
+
+    def test_replica_seconds_below_fixed_fleet_cost(self, ador_device,
+                                                    llama3):
+        """The autoscaler's reason to exist: a fleet that tracks load
+        costs less than holding the peak all run long."""
+        result = self._engine(ador_device, llama3).run(
+            poisson_requests(40.0, 300), max_sim_seconds=600.0)
+        trace = result.autoscale
+        fixed_cost = trace.peak_replicas * result.merged.total_time_s
+        assert trace.replica_seconds < fixed_cost
+
+    def test_peak_replicas_counts_the_initial_fleet(self, ador_device,
+                                                    llama3):
+        """A fleet that starts large and immediately shrinks still ran
+        its initial size before the first decision — the timeline only
+        samples post-decision states, so the peak must floor there."""
+        engine = ClusterEngine(
+            ador_device, llama3, SchedulerLimits(max_batch=32),
+            replicas=6, router="least-outstanding",
+            autoscale=AutoscaleSpec(policy="queue-depth", min_replicas=1,
+                                    max_replicas=6,
+                                    decision_interval_s=1.0,
+                                    provision_latency_s=1.0),
+            autoscaler=SchedulePolicy([(1.0, 1)]))
+        result = engine.run(poisson_requests(2.0, 30),
+                            max_sim_seconds=600.0)
+        assert result.autoscale.peak_replicas == 6
+
+    def test_cancelled_cold_launch_mints_no_warm_slot(self, ador_device,
+                                                      llama3):
+        """Cancelling a cold launch mid-provision returns nothing to the
+        warm pool — no warm machine ever existed — so the next scale-up
+        pays the cold latency again (a cancelled *warm* launch would
+        return the slot it took)."""
+        engine = ClusterEngine(
+            ador_device, llama3, SchedulerLimits(max_batch=32),
+            replicas=2, router="least-outstanding",
+            autoscale=AutoscaleSpec(policy="queue-depth", min_replicas=1,
+                                    max_replicas=6,
+                                    decision_interval_s=1.0,
+                                    provision_latency_s=30.0,
+                                    warm_pool_size=2,
+                                    warm_provision_s=5.0),
+            # t=1: +3 (2 warm + 1 cold, stock 0); t=2: cancel the two
+            # newest launches mid-provision (the cold id 4 and warm
+            # id 3 — only the warm one returns a slot, stock 1);
+            # t=3: +2 again (1 warm + 1 cold)
+            autoscaler=SchedulePolicy([(1.0, 5), (2.0, 3), (3.0, 5)]))
+        result = engine.run(poisson_requests(8.0, 80),
+                            max_sim_seconds=600.0)
+        trace = result.autoscale
+        # a cancelled-cold refill would have left stock 2 at t=3 and
+        # made both relaunches warm (4 warm / 1 cold)
+        assert trace.warm_launches == 3
+        assert trace.cold_launches == 2
+
+    def test_still_provisioning_at_run_end_carries_no_result(
+            self, ador_device, llama3):
+        """Replicas whose cold provision outlives the traffic never
+        served anything: no ghost all-zero per-replica results skewing
+        the load stats (they still cost replica-seconds)."""
+        engine = ClusterEngine(
+            ador_device, llama3, SchedulerLimits(max_batch=32),
+            replicas=1, router="least-outstanding",
+            autoscale=AutoscaleSpec(policy="queue-depth", min_replicas=1,
+                                    max_replicas=3,
+                                    decision_interval_s=1.0,
+                                    provision_latency_s=100.0),
+            autoscaler=SchedulePolicy([(1.0, 3)]))
+        result = engine.run(poisson_requests(4.0, 30),
+                            max_sim_seconds=600.0)
+        trace = result.autoscale
+        assert trace.launched == 3
+        assert len(result.replica_results) == 1
+        assert result.load.requests_per_replica == (30,)
+        assert result.load.request_imbalance == 1.0
+        # the ghosts' provisioning time is still paid for
+        assert trace.replica_seconds > result.merged.total_time_s
