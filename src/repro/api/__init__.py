@@ -53,6 +53,13 @@ from repro.core.scheduling import device_model_for
 from repro.hardware.registry import get_chip, list_chips, register_chip
 from repro.models.zoo import get_model, list_models
 from repro.serving.policies import get_policy, list_policies, register_policy
+from repro.serving.prefix_cache import (
+    PrefixCacheSpec,
+    get_eviction_policy,
+    list_eviction_policies,
+    register_eviction_policy,
+)
+from repro.serving.sessions import SessionConfig
 from repro.serving.traces import get_trace, list_traces, register_trace
 
 __all__ = [
@@ -74,6 +81,11 @@ __all__ = [
     "get_autoscaler",
     "list_autoscalers",
     "register_autoscaler",
+    "PrefixCacheSpec",
+    "SessionConfig",
+    "get_eviction_policy",
+    "list_eviction_policies",
+    "register_eviction_policy",
     "load_experiment",
     "save_experiment",
     "run_experiment",

@@ -46,6 +46,21 @@ class EndpointOverloaded(RuntimeError):
     """No request finished inside the horizon: the load is unsustainable."""
 
 
+def _prefix_cache_lines(stats) -> list[str]:
+    """Summary lines for a run's prefix-cache stats ([] when it ran cold)."""
+    if stats is None:
+        return []
+    return [
+        f"  prefix cache  : {stats.hit_rate:.0%} hit rate "
+        f"({stats.hits}/{stats.eligible} prefix-bearing turns), "
+        f"{stats.saved_prefill_tokens:,} prefill tokens saved",
+        f"                  {stats.stashed} prefixes stashed, "
+        f"{stats.evictions} evicted "
+        f"({stats.reclaimed_blocks:,} blocks reclaimed), "
+        f"{stats.preemptions} preemptions",
+    ]
+
+
 def _device_for(chip: ChipSpec, sim_cache: bool,
                 context_bucket: int):
     """The device model for one run: fast path (memoized + compiled
@@ -98,6 +113,7 @@ class ServingReport:
             f"  E2E  mean     : {qos.e2e_mean_s:.2f} s",
             f"  throughput    : {qos.tokens_per_s:,.0f} tokens/s",
         ]
+        lines += _prefix_cache_lines(self.result.prefix_cache)
         lines += [f"  {key}: {value:.2f}"
                   for key, value in util.as_dict().items()]
         return lines
@@ -136,10 +152,17 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
     device = _device_for(chip, sim_cache, context_bucket)
     requests = workload.build_requests()
     runner = get_policy(deployment.batching)
+    extra = {}
+    if deployment.prefix_cache is not None \
+            and deployment.prefix_cache.enabled:
+        # only passed when live, so runners that predate the knob (and
+        # disabled specs, which mean the cold path) see the unchanged
+        # call signature
+        extra["prefix_cache"] = deployment.prefix_cache
     result = runner(device, model, requests, deployment.scheduler_limits(),
                     num_devices=deployment.num_devices,
                     max_sim_seconds=max_sim_seconds,
-                    fast_forward=sim_cache)
+                    fast_forward=sim_cache, **extra)
     if not result.finished:
         raise EndpointOverloaded(
             f"no requests finished within {max_sim_seconds:g} s — "
@@ -248,6 +271,17 @@ def find_capacity(deployment: DeploymentSpec, workload: WorkloadSpec,
         raise ValueError(
             f"capacity search requires continuous batching, "
             f"got {deployment.batching!r}")
+    if deployment.prefix_cache is not None \
+            and deployment.prefix_cache.enabled:
+        # the capacity engine derives its own memory-based admission
+        # limits and probes single-turn Poisson streams — a prefix
+        # cache would be silently inert, faking a cold-path capacity
+        # as a reuse result.  Bisect simulate() over session rates
+        # instead (benchmarks/bench_prefix_reuse.py shows how).
+        raise ValueError(
+            "capacity search does not model prefix caching; drop the "
+            "prefix_cache spec (or bisect simulate() over session "
+            "rates, as benchmarks/bench_prefix_reuse.py does)")
     if overrides:
         base = capacity if capacity is not None else CapacitySpec()
         capacity = dataclasses.replace(base, **overrides)
@@ -344,6 +378,7 @@ class ClusterReport:
             f"(imbalance {load.request_imbalance:.2f})",
             f"  busy fraction/replica : {busy}",
         ]
+        lines += _prefix_cache_lines(self.result.prefix_cache)
         if trace is not None:
             spec = self.deployment.autoscale
             lines += [
@@ -391,6 +426,7 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
         router=deployment.router,
         fast_forward=sim_cache,
         autoscale=deployment.autoscale,
+        prefix_cache=deployment.prefix_cache,
     )
     cluster = engine.run(requests, max_sim_seconds=max_sim_seconds)
     if not cluster.merged.finished:

@@ -25,7 +25,9 @@ from repro.hardware.memory import Dram, DramKind, Sram
 from repro.hardware.registry import get_chip
 from repro.hardware.technology import ProcessNode
 from repro.serving.dataset import ChatTraceConfig
+from repro.serving.prefix_cache import PrefixCacheSpec
 from repro.serving.scheduler import SchedulerLimits
+from repro.serving.sessions import SessionConfig
 from repro.serving.traces import get_trace
 
 _PROCESS_BY_LABEL = {node.label: node for node in ProcessNode}
@@ -158,9 +160,19 @@ class WorkloadSpec:
     ``trace`` is a registry name (``"ultrachat"``, ``"fixed-512x128"``,
     or anything registered via
     :func:`repro.serving.traces.register_trace`) or an inline
-    :class:`ChatTraceConfig`.  ``arrival`` names the arrival process —
-    only ``"poisson"`` today, kept explicit so burst/diurnal processes
-    can slot in later without a schema change.
+    :class:`ChatTraceConfig`.  ``arrival`` names the arrival process:
+
+    * ``"poisson"`` — independent single-turn requests drawn from the
+      trace at ``rate_per_s``;
+    * ``"sessions"`` — multi-turn chat sessions
+      (:class:`~repro.serving.sessions.MultiTurnSessionGenerator`):
+      ``rate_per_s`` becomes the Poisson *session-start* rate and
+      ``num_requests`` the session count; turn lengths come from the
+      ``session`` config (the ``trace`` field is unused — session
+      prompts are the accumulated history, not trace marginals).  The
+      emitted requests carry ``session_id`` / ``turn_index`` /
+      ``history_tokens``, the load shape prefix caching and
+      session-affinity routing are about.
     """
 
     trace: str | ChatTraceConfig = "ultrachat"
@@ -168,12 +180,19 @@ class WorkloadSpec:
     rate_per_s: float = 15.0
     num_requests: int = 200
     seed: int = 7
+    session: SessionConfig | None = None
+
+    _ARRIVALS = ("poisson", "sessions")
 
     def __post_init__(self) -> None:
-        if self.arrival != "poisson":
+        if self.arrival not in self._ARRIVALS:
             raise ValueError(
                 f"unknown arrival process {self.arrival!r}; "
-                f"supported: poisson")
+                f"supported: {', '.join(self._ARRIVALS)}")
+        if self.session is not None and self.arrival != "sessions":
+            raise ValueError(
+                "a session config requires arrival='sessions' — "
+                "poisson arrivals would silently ignore it")
         if self.rate_per_s <= 0:
             raise ValueError("rate_per_s must be positive")
         if self.num_requests < 1:
@@ -189,9 +208,17 @@ class WorkloadSpec:
         """Generate the deterministic request stream this spec describes."""
         import numpy as np
 
+        rng = np.random.default_rng(self.seed)
+        if self.arrival == "sessions":
+            from repro.serving.sessions import MultiTurnSessionGenerator
+
+            generator = MultiTurnSessionGenerator(
+                self.session if self.session is not None
+                else SessionConfig(), rng)
+            return generator.generate_stream(self.num_requests,
+                                             self.rate_per_s)
         from repro.serving.generator import PoissonRequestGenerator
 
-        rng = np.random.default_rng(self.seed)
         generator = PoissonRequestGenerator(self.trace_config(),
                                             self.rate_per_s, rng)
         return generator.generate(self.num_requests)
@@ -205,10 +232,13 @@ class WorkloadSpec:
             "rate_per_s": self.rate_per_s,
             "num_requests": self.num_requests,
             "seed": self.seed,
+            "session": asdict(self.session)
+            if self.session is not None else None,
         }
 
     _FIELDS = frozenset(
-        ("trace", "arrival", "rate_per_s", "num_requests", "seed"))
+        ("trace", "arrival", "rate_per_s", "num_requests", "seed",
+         "session"))
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadSpec":
@@ -217,12 +247,21 @@ class WorkloadSpec:
         trace = data.get("trace", "ultrachat")
         if isinstance(trace, dict):
             trace = ChatTraceConfig(**trace)
+        session = data.get("session")
+        if session is not None:
+            _require_mapping(session, "workload session")
+            _reject_unknown_keys(
+                session,
+                frozenset(SessionConfig.__dataclass_fields__),
+                "workload session")
+            session = SessionConfig(**session)
         return cls(
             trace=trace,
             arrival=data.get("arrival", "poisson"),
             rate_per_s=data.get("rate_per_s", 15.0),
             num_requests=data.get("num_requests", 200),
             seed=data.get("seed", 7),
+            session=session,
         )
 
 
@@ -250,6 +289,14 @@ class DeploymentSpec:
     within ``[min_replicas, max_replicas]`` on a decision interval (the
     cluster engine runs even when ``replicas == 1``, since the fleet
     can grow).
+
+    ``prefix_cache`` turns on paged prefix/KV reuse across the turns of
+    multi-turn sessions
+    (:class:`~repro.serving.prefix_cache.PrefixCacheSpec`): finished
+    turns keep their KV blocks resident per session, so follow-up turns
+    re-prefill only the fresh question.  The paged pool is sized by
+    ``kv_budget_bytes``; every replica of a fleet owns its own pool and
+    cache.  Continuous batching only.
     """
 
     chip: str | ChipSpec = "ador"
@@ -262,6 +309,7 @@ class DeploymentSpec:
     replicas: int = 1
     router: str = "round-robin"
     autoscale: AutoscaleSpec | None = None
+    prefix_cache: PrefixCacheSpec | None = None
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -276,6 +324,14 @@ class DeploymentSpec:
                 f"lie within the autoscale range "
                 f"[{self.autoscale.min_replicas}, "
                 f"{self.autoscale.max_replicas}]")
+        if self.prefix_cache is not None and self.prefix_cache.enabled \
+                and self.batching != "continuous":
+            # the cache rides the continuous scheduler's block
+            # accounting; a spec that silently dropped it under another
+            # policy would fake a reuse result
+            raise ValueError(
+                f"prefix_cache requires continuous batching, "
+                f"got {self.batching!r}")
         # canonicalize "unlimited": None and +inf mean the same thing,
         # and specs must compare equal after a JSON round-trip
         if self.kv_budget_bytes == float("inf"):
@@ -312,12 +368,14 @@ class DeploymentSpec:
             "router": self.router,
             "autoscale": self.autoscale.to_dict()
             if self.autoscale is not None else None,
+            "prefix_cache": self.prefix_cache.to_dict()
+            if self.prefix_cache is not None else None,
         }
 
     _FIELDS = frozenset(
         ("chip", "model", "num_devices", "max_batch",
          "prefill_chunk_tokens", "kv_budget_bytes", "batching",
-         "replicas", "router", "autoscale"))
+         "replicas", "router", "autoscale", "prefix_cache"))
 
     @classmethod
     def from_dict(cls, data: dict) -> "DeploymentSpec":
@@ -327,6 +385,7 @@ class DeploymentSpec:
         if isinstance(chip, dict):
             chip = chip_from_dict(chip)
         autoscale = data.get("autoscale")
+        prefix_cache = data.get("prefix_cache")
         return cls(
             chip=chip,
             model=data.get("model", "llama3-8b"),
@@ -339,6 +398,8 @@ class DeploymentSpec:
             router=data.get("router", "round-robin"),
             autoscale=AutoscaleSpec.from_dict(autoscale)
             if autoscale is not None else None,
+            prefix_cache=PrefixCacheSpec.from_dict(prefix_cache)
+            if prefix_cache is not None else None,
         )
 
 

@@ -26,6 +26,7 @@ from repro.api import (
     CapacitySpec,
     DeploymentSpec,
     EndpointOverloaded,
+    PrefixCacheSpec,
     WorkloadSpec,
     find_capacity,
     load_experiment,
@@ -34,6 +35,7 @@ from repro.api import (
 )
 from repro.cluster.autoscaler import list_autoscalers
 from repro.cluster.router import list_routers
+from repro.serving.prefix_cache import list_eviction_policies
 from repro.core.requirements import (
     SearchRequest,
     ServiceLevelObjectives,
@@ -158,6 +160,32 @@ def _autoscale_spec(args: argparse.Namespace) -> AutoscaleSpec | None:
     return AutoscaleSpec(policy=args.autoscale, **overrides)
 
 
+_PREFIX_CACHE_KNOBS = (
+    ("prefix_cache_fraction", "reclaimable_fraction"),
+    ("prefix_cache_eviction", "eviction"),
+    ("prefix_cache_block_tokens", "block_tokens"),
+)
+
+
+def _prefix_cache_spec(args: argparse.Namespace) -> PrefixCacheSpec | None:
+    """Build a PrefixCacheSpec from ``--prefix-cache*`` flags.
+
+    A knob without ``--prefix-cache`` is a config mistake, not a default
+    to silently ignore — fail loudly, same contract as the JSON specs.
+    """
+    overrides = {field: getattr(args, arg)
+                 for arg, field in _PREFIX_CACHE_KNOBS
+                 if getattr(args, arg) is not None}
+    if not args.prefix_cache:
+        if overrides:
+            flags = ", ".join("--" + arg.replace("_", "-")
+                              for arg, _ in _PREFIX_CACHE_KNOBS
+                              if getattr(args, arg) is not None)
+            raise ValueError(f"{flags} require(s) --prefix-cache")
+        return None
+    return PrefixCacheSpec(**overrides)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         deployment = DeploymentSpec(
@@ -169,6 +197,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             replicas=args.replicas,
             router=args.router,
             autoscale=_autoscale_spec(args),
+            kv_budget_bytes=float("inf") if args.kv_budget_gb is None
+            else args.kv_budget_gb * float(1 << 30),
+            prefix_cache=_prefix_cache_spec(args),
         )
     except ValueError as exc:
         print(f"error: {_exc_message(exc)}", file=sys.stderr)
@@ -178,6 +209,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate_per_s=args.rate,
         num_requests=args.requests,
         seed=args.seed,
+        arrival=args.arrival,
     )
     try:
         report = simulate(deployment, workload,
@@ -254,6 +286,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             overrides["autoscale"] = AutoscaleSpec(policy=args.autoscale) \
                 if base is None \
                 else dataclasses.replace(base, policy=args.autoscale)
+        if args.no_prefix_cache and args.prefix_cache:
+            raise ValueError(
+                "--prefix-cache and --no-prefix-cache are mutually "
+                "exclusive")
+        if args.no_prefix_cache:
+            overrides["prefix_cache"] = None
+        elif args.prefix_cache:
+            # turn reuse on, keeping the experiment's cache knobs when
+            # it already carries a (possibly disabled) spec
+            base = experiment.deployment.prefix_cache
+            overrides["prefix_cache"] = PrefixCacheSpec() \
+                if base is None \
+                else dataclasses.replace(base, enabled=True)
         if overrides:
             experiment = dataclasses.replace(
                 experiment,
@@ -361,6 +406,30 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="provision latency of a warm-pool launch "
                             "(default 1)")
+    serve.add_argument("--arrival", default="poisson",
+                       choices=["poisson", "sessions"],
+                       help="arrival process: independent Poisson "
+                            "requests, or multi-turn chat sessions "
+                            "whose turns share a growing prefix")
+    serve.add_argument("--kv-budget-gb", type=float, default=None,
+                       help="KV-cache memory budget in GiB (default: "
+                            "unbounded)")
+    serve.add_argument("--prefix-cache", action="store_true",
+                       help="keep finished session turns' KV blocks "
+                            "resident so the next turn re-prefills only "
+                            "its fresh question (pairs with "
+                            "--arrival sessions)")
+    serve.add_argument("--prefix-cache-fraction", type=float, default=None,
+                       help="fraction of the block pool cached prefixes "
+                            "may occupy (default 0.5)")
+    serve.add_argument("--prefix-cache-eviction", default=None,
+                       choices=list_eviction_policies(),
+                       help="eviction policy over cached sessions "
+                            "(default lru)")
+    serve.add_argument("--prefix-cache-block-tokens", type=int,
+                       default=None,
+                       help="tokens per KV block; hits are block-"
+                            "aligned (default 16)")
     serve.add_argument("--no-sim-cache", action="store_true",
                        help="disable the simulator fast path (device-"
                             "model memoization + decode fast-forward); "
@@ -426,6 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-autoscale", action="store_true",
                      help="strip the experiment's autoscale section and "
                           "run the fixed fleet")
+    run.add_argument("--prefix-cache", action="store_true",
+                     help="enable prefix/KV reuse, keeping the "
+                          "experiment's cache knobs when it carries a "
+                          "(possibly disabled) prefix_cache section")
+    run.add_argument("--no-prefix-cache", action="store_true",
+                     help="strip the experiment's prefix_cache section "
+                          "and run the cold path")
     run.add_argument("--no-sim-cache", action="store_true",
                      help="disable the simulator fast path (bit-identical "
                           "results, reference speed)")

@@ -76,8 +76,12 @@ class ReplicaSim:
     def __init__(self, replica_id: int, engine: ServingEngine) -> None:
         self.replica_id = replica_id
         self.engine = engine
-        self.scheduler = ContinuousBatchingScheduler(engine.model,
-                                                     engine.limits)
+        # each replica owns its cache and paged pool — prefix residency
+        # is per-endpoint, which is exactly what makes the router
+        # choice (session-affinity vs round-robin) show up in hit rates
+        self.prefix_cache = engine.build_prefix_cache()
+        self.scheduler = ContinuousBatchingScheduler(
+            engine.model, engine.limits, prefix_cache=self.prefix_cache)
         self.now = 0.0
         self.pending: deque[Request] = deque()  # routed, not yet enqueued
         self.finished: list[Request] = []
@@ -237,6 +241,8 @@ class ReplicaSim:
             busy_time_s=self.busy,
             decode_time_s=self.decode_time,
             prefill_time_s=self.prefill_time,
+            prefix_cache=self.prefix_cache.stats
+            if self.prefix_cache is not None else None,
         )
 
 
@@ -279,6 +285,7 @@ class ClusterEngine:
         fast_forward: bool = True,
         autoscale: AutoscaleSpec | None = None,
         autoscaler: AutoscalerPolicy | None = None,
+        prefix_cache=None,
     ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -301,6 +308,7 @@ class ClusterEngine:
         self.fast_forward = fast_forward
         self.autoscale = autoscale
         self.autoscaler = autoscaler
+        self.prefix_cache = prefix_cache
         make_router(router)  # fail on unknown names at construction
         if autoscale is not None and autoscaler is None:
             make_autoscaler(autoscale.policy)
@@ -309,7 +317,8 @@ class ClusterEngine:
         return ReplicaSim(replica_id,
                           ServingEngine(self.device, self.model,
                                         self.limits, self.num_devices,
-                                        fast_forward=self.fast_forward))
+                                        fast_forward=self.fast_forward,
+                                        prefix_cache=self.prefix_cache))
 
     @staticmethod
     def _route(router: RouterPolicy, request: Request,

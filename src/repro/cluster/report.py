@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.serving.engine import SimulationResult
+from repro.serving.prefix_cache import PrefixCacheStats
 from repro.serving.qos import QoSReport, compute_qos
 
 
@@ -90,9 +91,13 @@ def merge_results(replica_results: Sequence[SimulationResult]
     Wall time is the slowest replica's clock (replicas run in parallel);
     iteration counters and busy/decode/prefill seconds are summed, so
     fleet busy time can exceed wall time by up to the replica count.
+    Per-replica prefix-cache stats (when the feature ran) sum into one
+    fleet view — the hit rate the whole deployment delivered.
     """
     if not replica_results:
         raise ValueError("need at least one replica result")
+    cache_stats = [r.prefix_cache for r in replica_results
+                   if r.prefix_cache is not None]
     return SimulationResult(
         finished=[r for result in replica_results for r in result.finished],
         unfinished=[r for result in replica_results
@@ -103,6 +108,8 @@ def merge_results(replica_results: Sequence[SimulationResult]
         busy_time_s=sum(r.busy_time_s for r in replica_results),
         decode_time_s=sum(r.decode_time_s for r in replica_results),
         prefill_time_s=sum(r.prefill_time_s for r in replica_results),
+        prefix_cache=PrefixCacheStats.merged(cache_stats)
+        if cache_stats else None,
     )
 
 

@@ -51,6 +51,15 @@ from repro.serving.sessions import (
     SessionTurn,
 )
 from repro.serving.kv_allocator import KvBlockConfig, PagedKvAllocator
+from repro.serving.prefix_cache import (
+    CachedPrefix,
+    PrefixCache,
+    PrefixCacheSpec,
+    PrefixCacheStats,
+    get_eviction_policy,
+    list_eviction_policies,
+    register_eviction_policy,
+)
 from repro.serving.trace_io import (
     export_timeline,
     load_requests,
@@ -60,6 +69,13 @@ from repro.serving.trace_io import (
 __all__ = [
     "KvBlockConfig",
     "PagedKvAllocator",
+    "CachedPrefix",
+    "PrefixCache",
+    "PrefixCacheSpec",
+    "PrefixCacheStats",
+    "get_eviction_policy",
+    "list_eviction_policies",
+    "register_eviction_policy",
     "export_timeline",
     "load_requests",
     "save_requests",

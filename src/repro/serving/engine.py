@@ -34,6 +34,11 @@ import numpy as np
 from repro.hardware.chip import ChipKind
 from repro.models.config import ModelConfig
 from repro.perf.baselines import DeviceModel
+from repro.serving.prefix_cache import (
+    PrefixCache,
+    PrefixCacheSpec,
+    PrefixCacheStats,
+)
 from repro.serving.request import Request
 from repro.serving.scheduler import (
     ContinuousBatchingScheduler,
@@ -186,6 +191,8 @@ class SimulationResult:
     prefill_time_s: float
     #: non-None when an InstabilityMonitor aborted the run early
     saturated: Saturated | None = None
+    #: non-None when the endpoint ran with a prefix cache enabled
+    prefix_cache: PrefixCacheStats | None = None
 
     @property
     def completed_requests_per_s(self) -> float:
@@ -273,6 +280,7 @@ class ServingEngine:
         limits: SchedulerLimits,
         num_devices: int = 1,
         fast_forward: bool = True,
+        prefix_cache: PrefixCacheSpec | None = None,
     ) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
@@ -281,7 +289,25 @@ class ServingEngine:
         self.limits = limits
         self.num_devices = num_devices
         self.fast_forward = fast_forward
+        # a disabled spec is the same as no spec: the cold path, bit
+        # for bit (the scheduler never even sees a cache object)
+        self.prefix_cache_spec = prefix_cache \
+            if prefix_cache is not None and prefix_cache.enabled else None
         self.overlap = _OVERLAP_BY_KIND.get(device.chip.kind, 0.15)
+
+    def build_prefix_cache(self) -> PrefixCache | None:
+        """A fresh per-run cache (``None`` when the feature is off).
+
+        Each run — and each cluster replica — gets its own cache and
+        paged pool, so two runs on one engine never share residency and
+        a fleet's hit rate honestly reflects its router (session
+        affinity concentrates a session's turns on one replica's cache;
+        round-robin scatters them).
+        """
+        if self.prefix_cache_spec is None:
+            return None
+        return PrefixCache.for_deployment(self.model, self.limits,
+                                          self.prefix_cache_spec)
 
     # ------------------------------------------------------------------ #
     # Iteration timing                                                     #
@@ -321,7 +347,9 @@ class ServingEngine:
         one without a monitor.
         """
         pending = deque(sorted(requests, key=lambda r: r.arrival_time))
-        scheduler = ContinuousBatchingScheduler(self.model, self.limits)
+        cache = self.build_prefix_cache()
+        scheduler = ContinuousBatchingScheduler(self.model, self.limits,
+                                                prefix_cache=cache)
         now = 0.0
         finished: list[Request] = []
         iterations = 0
@@ -395,4 +423,5 @@ class ServingEngine:
             decode_time_s=decode_time,
             prefill_time_s=prefill_time,
             saturated=saturated,
+            prefix_cache=cache.stats if cache is not None else None,
         )

@@ -18,9 +18,20 @@ from repro.models.config import ModelConfig
 from repro.models.kv_cache import kv_bytes_per_token
 
 
+#: Block count standing in for an unbounded pool (``pool_bytes=inf``):
+#: large enough that no simulated workload can exhaust it, while every
+#: counter stays exact integer arithmetic.
+UNBOUNDED_BLOCKS = 1 << 62
+
+
 @dataclass(frozen=True)
 class KvBlockConfig:
-    """Geometry of the paged KV pool."""
+    """Geometry of the paged KV pool.
+
+    ``pool_bytes`` of ``inf`` means an unbounded pool (admission never
+    blocks) — the paged analogue of the scheduler's unlimited
+    ``kv_budget_bytes``.
+    """
 
     block_tokens: int = 16
     pool_bytes: float = 0.0
@@ -48,9 +59,16 @@ class PagedKvAllocator:
         self.block_bytes = self.bytes_per_token * config.block_tokens
         if self.block_bytes <= 0:
             raise ValueError("model yields zero-sized KV blocks")
-        self.total_blocks = int(config.pool_bytes // self.block_bytes)
+        self.total_blocks = UNBOUNDED_BLOCKS \
+            if math.isinf(config.pool_bytes) \
+            else int(config.pool_bytes // self.block_bytes)
         self._allocations: dict[int, _Allocation] = {}
         self._used_blocks = 0
+        # incremental last-block slack so internal_fragmentation() is
+        # O(1) — it is polled per engine iteration by utilization
+        # reporting, and summing all live allocations there made the
+        # poll O(active requests)
+        self._slack_tokens = 0
 
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
@@ -75,12 +93,13 @@ class PagedKvAllocator:
         return self._used_blocks / self.total_blocks
 
     def internal_fragmentation(self) -> float:
-        """Bytes allocated but not holding tokens (last-block slack)."""
-        slack_tokens = sum(
-            a.blocks * self.config.block_tokens - a.tokens
-            for a in self._allocations.values()
-        )
-        return slack_tokens * self.bytes_per_token
+        """Bytes allocated but not holding tokens (last-block slack).
+
+        O(1): the slack counter is maintained incrementally on every
+        admit/append/extend/release (integer arithmetic, so it is
+        exactly the sum over live allocations at all times).
+        """
+        return self._slack_tokens * self.bytes_per_token
 
     def blocks_for_tokens(self, tokens: int) -> int:
         if tokens < 0:
@@ -112,6 +131,8 @@ class PagedKvAllocator:
         self._allocations[request_id] = _Allocation(blocks=needed,
                                                     tokens=prompt_tokens)
         self._used_blocks += needed
+        self._slack_tokens += needed * self.config.block_tokens \
+            - prompt_tokens
 
     def append_token(self, request_id: int) -> bool:
         """Grow a request by one generated token.
@@ -125,12 +146,49 @@ class PagedKvAllocator:
             raise KeyError(f"request {request_id} has no allocation")
         if allocation.tokens < allocation.blocks * self.config.block_tokens:
             allocation.tokens += 1
+            self._slack_tokens -= 1
             return True
         if self.free_blocks < 1:
             return False
         allocation.blocks += 1
         allocation.tokens += 1
         self._used_blocks += 1
+        self._slack_tokens += self.config.block_tokens - 1
+        return True
+
+    def growth_blocks(self, request_id: int, new_tokens: int) -> int:
+        """Blocks a :meth:`extend` by ``new_tokens`` would allocate."""
+        allocation = self._allocations.get(request_id)
+        if allocation is None:
+            raise KeyError(f"request {request_id} has no allocation")
+        if new_tokens < 0:
+            raise ValueError("new_tokens must be non-negative")
+        return self.blocks_for_tokens(allocation.tokens + new_tokens) \
+            - allocation.blocks
+
+    def extend(self, request_id: int, new_tokens: int) -> bool:
+        """Grow a request by ``new_tokens`` at once (all-or-nothing).
+
+        The bulk analogue of :meth:`append_token` for the engine's
+        decode fast-forward: one call per burst instead of one per
+        step.  Returns ``False`` — leaving the allocation untouched —
+        when the pool cannot supply the growth blocks.
+        """
+        allocation = self._allocations.get(request_id)
+        if allocation is None:
+            raise KeyError(f"request {request_id} has no allocation")
+        if new_tokens < 0:
+            raise ValueError("new_tokens must be non-negative")
+        if new_tokens == 0:
+            return True
+        grown = self.blocks_for_tokens(allocation.tokens + new_tokens)
+        growth = grown - allocation.blocks
+        if growth > self.free_blocks:
+            return False
+        allocation.tokens += new_tokens
+        allocation.blocks = grown
+        self._used_blocks += growth
+        self._slack_tokens += growth * self.config.block_tokens - new_tokens
         return True
 
     def release(self, request_id: int) -> int:
@@ -139,7 +197,23 @@ class PagedKvAllocator:
         if allocation is None:
             raise KeyError(f"request {request_id} has no allocation")
         self._used_blocks -= allocation.blocks
+        self._slack_tokens -= allocation.blocks * self.config.block_tokens \
+            - allocation.tokens
         return allocation.blocks
+
+    def allocation_blocks(self, request_id: int) -> int:
+        """Blocks currently held by one live allocation."""
+        allocation = self._allocations.get(request_id)
+        if allocation is None:
+            raise KeyError(f"request {request_id} has no allocation")
+        return allocation.blocks
+
+    def allocation_tokens(self, request_id: int) -> int:
+        """Tokens currently resident in one live allocation."""
+        allocation = self._allocations.get(request_id)
+        if allocation is None:
+            raise KeyError(f"request {request_id} has no allocation")
+        return allocation.tokens
 
     # ------------------------------------------------------------------ #
     # Comparison helper                                                   #

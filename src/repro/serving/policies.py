@@ -37,7 +37,11 @@ class BatchingPolicy(enum.Enum):
 #: fast_forward)``.  ``fast_forward`` opts into simulator fast paths that
 #: are bit-identical to the plain loop (see
 #: :class:`repro.serving.engine.ServingEngine`); runners without such a
-#: path accept and ignore it.
+#: path accept and ignore it.  ``prefix_cache`` (a
+#: :class:`~repro.serving.prefix_cache.PrefixCacheSpec`) is passed only
+#: when a deployment carries one — today only the continuous runner
+#: models it, and :func:`repro.api.simulate` rejects the combination
+#: for other built-ins before ever calling them.
 PolicyRunner = Callable[..., SimulationResult]
 
 POLICY_REGISTRY = Registry("batching policy")
@@ -198,10 +202,12 @@ def run_static(device: DeviceModel, model: ModelConfig, requests: list,
 def run_continuous(device: DeviceModel, model: ModelConfig, requests: list,
                    limits: SchedulerLimits, num_devices: int = 1,
                    max_sim_seconds: float = 3600.0,
-                   fast_forward: bool = True) -> SimulationResult:
+                   fast_forward: bool = True,
+                   prefix_cache=None) -> SimulationResult:
     """Iteration-level continuous batching (the paper's default)."""
     engine = ServingEngine(device, model, limits, num_devices,
-                           fast_forward=fast_forward)
+                           fast_forward=fast_forward,
+                           prefix_cache=prefix_cache)
     return engine.run(requests, max_sim_seconds=max_sim_seconds)
 
 

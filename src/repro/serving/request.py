@@ -31,7 +31,12 @@ class Request:
     ``session_id`` links the turns of one multi-turn conversation; the
     cluster's session-affinity router uses it to pin a conversation (and
     its reusable KV prefix) to one replica.  Single-turn streams leave it
-    ``None``.
+    ``None``.  ``turn_index`` is the turn's position within its session
+    and ``history_tokens`` counts the leading prompt tokens that repeat
+    the previous turns verbatim — the reusable prefix a
+    :class:`~repro.serving.prefix_cache.PrefixCache` can serve from
+    cached KV blocks; ``cached_prefix_tokens`` records how many of them
+    a cache hit actually covered (0 on cold paths).
 
     Token tracking is slim by default: QoS needs only the first/last
     emission stamps and the token count (TTFT, the mean inter-token gap
@@ -54,12 +59,21 @@ class Request:
     session_id: int | None = None
     last_token_time: float | None = None
     record_token_times: bool = False
+    turn_index: int = 0
+    history_tokens: int = 0
+    cached_prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.input_tokens < 1 or self.output_tokens < 1:
             raise ValueError("requests need at least one input and output token")
         if self.arrival_time < 0:
             raise ValueError("arrival time must be non-negative")
+        if self.turn_index < 0:
+            raise ValueError("turn_index must be non-negative")
+        if not 0 <= self.history_tokens <= self.input_tokens:
+            raise ValueError(
+                "history_tokens must lie within [0, input_tokens] — the "
+                "reusable prefix is part of the prompt")
 
     @property
     def context_len(self) -> int:

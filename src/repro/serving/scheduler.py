@@ -77,11 +77,24 @@ class IterationPlan:
 
 
 class ContinuousBatchingScheduler:
-    """FIFO admission, chunked prefill, iteration-level batching."""
+    """FIFO admission, chunked prefill, iteration-level batching.
 
-    def __init__(self, model: ModelConfig, limits: SchedulerLimits) -> None:
+    With a :class:`~repro.serving.prefix_cache.PrefixCache` attached
+    the scheduler additionally runs block-granular KV accounting:
+    admission allocates the prompt's blocks through the cache (scoring
+    a prefix hit that shrinks the chunked-prefill work to the uncached
+    suffix), decode growth claims blocks per emitted token, finished
+    session turns are released *into* the cache, and block exhaustion
+    stalls admission or preempts a running request for recompute.
+    Without a cache (``prefix_cache=None``) not one of those code paths
+    is entered — the scheduler is bit-identical to the cold path.
+    """
+
+    def __init__(self, model: ModelConfig, limits: SchedulerLimits,
+                 prefix_cache=None) -> None:
         self.model = model
         self.limits = limits
+        self.prefix_cache = prefix_cache
         self.queued: deque[Request] = deque()
         self.prefilling: list[Request] = []
         self.decoding: list[Request] = []
@@ -131,12 +144,24 @@ class ContinuousBatchingScheduler:
     # ------------------------------------------------------------------ #
 
     def _admit(self) -> None:
+        cache = self.prefix_cache
         while self.queued and self.active_count < self.limits.max_batch:
             candidate = self.queued[0]
             projected = self._reserved_kv_bytes \
                 + self._request_kv_bytes(candidate)
             if projected > self.limits.kv_budget_bytes:
                 break
+            if cache is not None:
+                hit = cache.acquire(candidate)
+                if hit is None:
+                    # block pool exhausted even after reclaiming every
+                    # cached prefix: stall until running work completes
+                    break
+                if hit > 0:
+                    # the cached prefix is already resident — chunked
+                    # prefill only charges the uncached suffix
+                    candidate.prefilled_tokens = hit
+                    candidate.cached_prefix_tokens = hit
             self.queued.popleft()
             candidate.state = RequestState.PREFILLING
             self.prefilling.append(candidate)
@@ -157,13 +182,100 @@ class ContinuousBatchingScheduler:
                                       head.prefill_remaining)
         return plan
 
-    def _remove_finished(self, finished: list) -> None:
-        for request in finished:
-            self._reserved_kv_bytes -= self._request_kv_bytes(request)
-            self._decode_context_sum -= request.context_len
+    def _retire_one(self, request: Request) -> None:
+        self._reserved_kv_bytes -= self._request_kv_bytes(request)
+        self._decode_context_sum -= request.context_len
+        if self.prefix_cache is not None:
+            # released *into* the cache: a session turn's blocks stay
+            # resident as the next turn's prefix
+            self.prefix_cache.stash(request)
+
+    def _drop_from_decoding(self, finished: list) -> None:
         finished_set = set(finished)  # identity-keyed (Request has eq=False)
         self.decoding = [r for r in self.decoding
                          if r not in finished_set]
+
+    def _remove_finished(self, finished: list) -> None:
+        for request in finished:
+            self._retire_one(request)
+        self._drop_from_decoding(finished)
+
+    # ------------------------------------------------------------------ #
+    # Block growth + preemption (prefix-cache mode only)                   #
+    # ------------------------------------------------------------------ #
+
+    def _grow_and_retire(self, batch: list, steps: int,
+                         finished: list) -> None:
+        """Claim the blocks the batch's ``steps`` new tokens occupy,
+        then retire the finished members.
+
+        Finished members grow and retire first, one at a time — each
+        stash makes its blocks reclaimable for the next — so finished
+        work is never stranded while survivors starve.  A finishing
+        member whose final-step growth cannot be supplied even then is
+        retired without it (its blocks are being released this instant;
+        the cached prefix just ends ``< steps`` tokens short).  When a
+        *survivor*'s growth cannot be supplied, another active request
+        is preempted for recompute (vLLM's recompute path) and the
+        growth retried; finished members are never victims.
+        """
+        exempt = set(finished)  # identity-keyed (Request has eq=False)
+        preempted: set = set()
+        for request in finished:
+            self._claim_growth(request, steps, exempt, preempted,
+                               required=False)
+            self._retire_one(request)
+        if finished:
+            self._drop_from_decoding(finished)
+        for request in list(batch):
+            if request in exempt or request in preempted:
+                continue
+            self._claim_growth(request, steps, exempt, preempted)
+
+    def _claim_growth(self, request: Request, steps: int,
+                      exempt: set, preempted: set,
+                      required: bool = True) -> None:
+        while not self.prefix_cache.extend(request, steps):
+            victim = self._preemption_victim(request, exempt)
+            if victim is None:
+                if not required:
+                    return
+                raise MemoryError(
+                    "KV block pool cannot hold a single request's "
+                    "context; grow kv_budget_bytes")
+            self._preempt(victim)
+            preempted.add(victim)
+
+    def _preemption_victim(self, growing: Request,
+                           exempt: set) -> Request | None:
+        """Youngest-first victim: last-admitted prefill, then the
+        newest decode — never the growing request or a finished one."""
+        for pool in (self.prefilling, self.decoding):
+            for candidate in reversed(pool):
+                if candidate is growing or candidate in exempt:
+                    continue
+                return candidate
+        return None
+
+    def _preempt(self, victim: Request) -> None:
+        """Requeue ``victim`` for full recompute, freeing its blocks.
+
+        The already-generated tokens keep their emission stamps (they
+        were served); re-admission re-prefills prompt + generated
+        context, encoded as a negative ``prefilled_tokens`` so
+        ``prefill_remaining`` charges the whole recompute.
+        """
+        if victim.state == RequestState.DECODING:
+            self.decoding.remove(victim)
+            self._decode_context_sum -= victim.context_len
+        else:
+            self.prefilling.remove(victim)
+        self._reserved_kv_bytes -= self._request_kv_bytes(victim)
+        self.prefix_cache.forfeit(victim)
+        victim.prefilled_tokens = -victim.generated_tokens
+        victim.cached_prefix_tokens = 0
+        victim.state = RequestState.QUEUED
+        self.queued.appendleft(victim)
 
     def _clamp_when_drained(self) -> None:
         if not self.prefilling and not self.decoding:
@@ -188,7 +300,9 @@ class ContinuousBatchingScheduler:
             if finished is None:
                 finished = [r for r in self.decoding
                             if r.state == RequestState.FINISHED]
-            if finished:
+            if self.prefix_cache is not None:
+                self._grow_and_retire(plan.decode_requests, 1, finished)
+            elif finished:
                 self._remove_finished(finished)
         self._clamp_when_drained()
 
@@ -199,9 +313,14 @@ class ContinuousBatchingScheduler:
         The engine's fast-forward path guarantees no prefill work and no
         admissions happened during the burst; each decode member emitted
         ``steps`` tokens and ``finished`` lists the members that
-        completed on the final step.
+        completed on the final step.  In prefix-cache mode the whole
+        burst's block growth is claimed here in one bulk extend per
+        member — exhaustion is resolved at the burst boundary, not
+        mid-step (the documented modeling simplification).
         """
         self._decode_context_sum += plan.decode_batch * steps
-        if finished:
+        if self.prefix_cache is not None and steps > 0:
+            self._grow_and_retire(plan.decode_requests, steps, finished)
+        elif finished:
             self._remove_finished(finished)
         self._clamp_when_drained()

@@ -49,6 +49,7 @@ class SessionTurn:
     arrival_time: float
     input_tokens: int    # history + fresh question
     output_tokens: int
+    history_tokens: int = 0  # leading prompt tokens repeating past turns
 
 
 class MultiTurnSessionGenerator:
@@ -68,7 +69,7 @@ class MultiTurnSessionGenerator:
         config = self.config
         # geometric with the configured mean (>= 1 turn)
         p = 1.0 / config.mean_turns
-        turns = 1 + self.rng.geometric(p) - 1
+        turns = self.rng.geometric(p)
         history = 0
         now = start_time
         out: list[SessionTurn] = []
@@ -83,6 +84,10 @@ class MultiTurnSessionGenerator:
                 arrival_time=now,
                 input_tokens=input_tokens,
                 output_tokens=answer,
+                # context clamping can leave history == input_tokens;
+                # the prefix cache separately guarantees at least one
+                # recomputed token, so no extra clamp here
+                history_tokens=min(history, input_tokens),
             ))
             history = min(input_tokens + answer, config.max_context)
             now += self.rng.exponential(config.think_time_mean_s)
@@ -108,6 +113,8 @@ class MultiTurnSessionGenerator:
                 input_tokens=turn.input_tokens,
                 output_tokens=turn.output_tokens,
                 session_id=turn.session_id,
+                turn_index=turn.turn_index,
+                history_tokens=turn.history_tokens,
             )
             for i, turn in enumerate(turns)
         ]

@@ -26,6 +26,12 @@ def save_requests(requests: list, path) -> None:
         }
         if r.session_id is not None:
             entry["session_id"] = r.session_id
+        # multi-turn fields are written only when set, so single-turn
+        # traces keep their old compact shape byte-for-byte
+        if r.turn_index:
+            entry["turn_index"] = r.turn_index
+        if r.history_tokens:
+            entry["history_tokens"] = r.history_tokens
         payload.append(entry)
     pathlib.Path(path).write_text(json.dumps(payload, indent=1))
 
@@ -45,6 +51,10 @@ def load_requests(path) -> list:
                 input_tokens=int(entry["input_tokens"]),
                 output_tokens=int(entry["output_tokens"]),
                 session_id=None if session is None else int(session),
+                # absent in traces written before multi-turn metadata
+                # existed: default to a first/only turn with no history
+                turn_index=int(entry.get("turn_index", 0)),
+                history_tokens=int(entry.get("history_tokens", 0)),
             ))
         except KeyError as missing:
             raise ValueError(f"{path}: request entry missing {missing}")

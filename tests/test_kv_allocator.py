@@ -58,6 +58,38 @@ class TestLifecycle:
             allocator.release(9)
 
 
+class TestBulkExtend:
+    def test_extend_is_all_or_nothing(self):
+        allocator = make_allocator(pool_gib=0.01)  # 5 blocks, 80 tokens
+        allocator.admit(1, prompt_tokens=48)  # 3 blocks
+        assert allocator.growth_blocks(1, 40) == 3  # would need 88 total
+        assert not allocator.extend(1, 40)
+        # failed extend leaves the allocation untouched
+        assert allocator.allocation_tokens(1) == 48
+        assert allocator.allocation_blocks(1) == 3
+        assert allocator.extend(1, 30)  # 78 tokens, 5 blocks: fits
+        assert allocator.allocation_tokens(1) == 78
+
+    def test_extend_matches_append_token_accounting(self):
+        bulk, steps = make_allocator(), make_allocator()
+        bulk.admit(1, 100)
+        steps.admit(1, 100)
+        assert bulk.extend(1, 37)
+        for _ in range(37):
+            assert steps.append_token(1)
+        assert bulk.allocation_blocks(1) == steps.allocation_blocks(1)
+        assert bulk.internal_fragmentation() \
+            == steps.internal_fragmentation()
+
+    def test_growth_blocks_validation(self):
+        allocator = make_allocator()
+        allocator.admit(1, 10)
+        with pytest.raises(KeyError):
+            allocator.growth_blocks(9, 5)
+        with pytest.raises(ValueError):
+            allocator.growth_blocks(1, -1)
+
+
 class TestAccounting:
     def test_fragmentation_bounded_by_one_block_per_request(self):
         allocator = make_allocator(block_tokens=16)
@@ -121,3 +153,25 @@ def test_property_append_token_accounting(appends):
     allocation = allocator._allocations[0]
     assert allocation.tokens == 10 + grown
     assert allocation.blocks == allocator.blocks_for_tokens(allocation.tokens)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    prompts=st.lists(st.integers(1, 300), min_size=1, max_size=12),
+    growths=st.lists(st.integers(0, 80), min_size=1, max_size=12),
+)
+def test_property_incremental_fragmentation_is_exact(prompts, growths):
+    """The O(1) slack counter always equals the O(n) recomputation."""
+    allocator = make_allocator(pool_gib=16.0, block_tokens=16)
+    for rid, prompt in enumerate(prompts):
+        allocator.admit(rid, prompt)
+    for rid, growth in enumerate(growths[:len(prompts)]):
+        allocator.extend(rid, growth)
+    recomputed = sum(
+        a.blocks * allocator.config.block_tokens - a.tokens
+        for a in allocator._allocations.values()
+    ) * allocator.bytes_per_token
+    assert allocator.internal_fragmentation() == recomputed
+    for rid in range(len(prompts)):
+        allocator.release(rid)
+    assert allocator.internal_fragmentation() == 0.0

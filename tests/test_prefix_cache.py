@@ -1,0 +1,414 @@
+"""Tests for the paged prefix/KV reuse subsystem.
+
+Covers the cache in isolation (hit clamping, eviction ordering, the
+reclaimable cap, the never-touch-active invariant), the scheduler's
+stall/preempt responses under block-pool pressure, and the headline
+contract: a deployment without a cache — or with ``enabled=False`` —
+is bit-identical to the cold path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    DeploymentSpec,
+    PrefixCacheSpec,
+    SessionConfig,
+    WorkloadSpec,
+    find_capacity,
+    simulate,
+    simulate_cluster,
+)
+from repro.models.zoo import get_model
+from repro.serving.kv_allocator import KvBlockConfig, PagedKvAllocator
+from repro.serving.prefix_cache import (
+    CachedPrefix,
+    PrefixCache,
+    PrefixCacheStats,
+    get_eviction_policy,
+    list_eviction_policies,
+)
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
+
+GIB = 1024 ** 3
+
+
+def make_cache(pool_gib=0.25, block_tokens=16, fraction=0.5,
+               eviction="lru"):
+    model = get_model("llama3-8b")  # 128 KiB KV per token
+    allocator = PagedKvAllocator(model, KvBlockConfig(
+        block_tokens=block_tokens, pool_bytes=pool_gib * GIB))
+    return PrefixCache(allocator, reclaimable_fraction=fraction,
+                       eviction=eviction)
+
+
+def make_request(request_id, input_tokens=100, output_tokens=20,
+                 session=None, history=0, turn=0):
+    return Request(request_id=request_id, arrival_time=0.0,
+                   input_tokens=input_tokens, output_tokens=output_tokens,
+                   session_id=session, turn_index=turn,
+                   history_tokens=history)
+
+
+def finish_turn(cache, request):
+    """Acquire, grow to the full answer, and stash like the scheduler."""
+    assert cache.acquire(request) is not None
+    assert cache.extend(request, request.output_tokens)
+    cache.stash(request)
+
+
+class TestSpec:
+    def test_round_trip(self):
+        spec = PrefixCacheSpec(reclaimable_fraction=0.8, eviction="fifo",
+                               block_tokens=32)
+        assert PrefixCacheSpec.from_dict(spec.to_dict()) == spec
+
+    def test_disabled_round_trip(self):
+        spec = PrefixCacheSpec(enabled=False)
+        assert PrefixCacheSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_unknown_keys(self):
+        payload = PrefixCacheSpec().to_dict()
+        payload["typo"] = 1
+        with pytest.raises(ValueError, match="typo"):
+            PrefixCacheSpec.from_dict(payload)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixCacheSpec(reclaimable_fraction=0.0)
+        with pytest.raises(ValueError):
+            PrefixCacheSpec(reclaimable_fraction=1.5)
+        with pytest.raises(ValueError):
+            PrefixCacheSpec(block_tokens=0)
+        with pytest.raises(KeyError):
+            PrefixCacheSpec(eviction="nope")
+
+    def test_builtin_eviction_policies(self):
+        assert {"lru", "fifo", "largest"} <= set(list_eviction_policies())
+
+
+class TestHitSemantics:
+    def test_next_turn_hits_block_aligned_history(self):
+        cache = make_cache()
+        turn0 = make_request(1, input_tokens=100, output_tokens=20,
+                             session=5)
+        finish_turn(cache, turn0)  # 120 resident tokens
+        assert cache.cached_tokens(5) == 120
+
+        turn1 = make_request(2, input_tokens=150, output_tokens=10,
+                             session=5, history=120, turn=1)
+        hit = cache.acquire(turn1)
+        assert hit == (120 // 16) * 16 == 112
+        assert cache.stats.hits == 1
+        assert cache.stats.saved_prefill_tokens == 112
+
+    def test_hit_clamped_to_input_minus_one(self):
+        # vLLM semantics: a fully-cached prompt still recomputes >= 1
+        # token, so the hit is capped at input_tokens - 1 (then aligned)
+        cache = make_cache()
+        turn0 = make_request(1, input_tokens=100, output_tokens=28,
+                             session=5)
+        finish_turn(cache, turn0)  # 128 resident tokens
+        turn1 = make_request(2, input_tokens=96, output_tokens=10,
+                             session=5, history=96, turn=1)
+        hit = cache.acquire(turn1)
+        assert hit == (95 // 16) * 16 == 80
+
+    def test_sessionless_request_never_hits(self):
+        cache = make_cache()
+        finish_turn(cache, make_request(1, session=5))
+        lone = make_request(2, input_tokens=200, output_tokens=10)
+        assert cache.acquire(lone) == 0
+        # neither acquire carried a reusable prefix, so none is eligible
+        assert cache.stats.eligible == 0
+        assert cache.stats.lookups == 2
+
+    def test_first_turn_is_not_eligible(self):
+        cache = make_cache()
+        turn0 = make_request(1, session=5, history=0)
+        assert cache.acquire(turn0) == 0
+        assert cache.stats.eligible == 0
+        assert cache.stats.hit_rate == 0.0
+
+    def test_own_turn_supersedes_stored_prefix(self):
+        cache = make_cache()
+        finish_turn(cache, make_request(1, input_tokens=64,
+                                        output_tokens=16, session=5))
+        turn1 = make_request(2, input_tokens=128, output_tokens=16,
+                             session=5, history=80, turn=1)
+        cache.acquire(turn1)
+        assert cache.cached_sessions == 0  # entry consumed by the hit
+        assert cache.extend(turn1, 16)
+        cache.stash(turn1)
+        assert cache.cached_tokens(5) == 144  # the longer prefix
+
+
+class TestEviction:
+    def _stash_three(self, cache):
+        # sessions 1..3 stashed in order; session 1 is oldest AND
+        # least-recently-used, session 3 is the largest
+        for sid, tokens in ((1, 64), (2, 64), (3, 160)):
+            finish_turn(cache, make_request(
+                sid, input_tokens=tokens - 16, output_tokens=16,
+                session=sid))
+
+    @pytest.mark.parametrize("eviction,order", [
+        ("lru", [1, 2, 3]),
+        ("fifo", [1, 2, 3]),
+        ("largest", [3, 1, 2]),
+    ])
+    def test_eviction_order(self, eviction, order):
+        cache = make_cache(eviction=eviction, fraction=1.0)
+        self._stash_three(cache)
+        evicted = []
+        while cache.cached_sessions:
+            survivors = {sid for sid in (1, 2, 3)
+                         if cache.cached_tokens(sid) > 0}
+            assert cache._evict_one()
+            gone = survivors - {sid for sid in (1, 2, 3)
+                                if cache.cached_tokens(sid) > 0}
+            evicted.extend(sorted(gone))
+        assert evicted == order
+
+    def test_lru_refresh_on_restash(self):
+        cache = make_cache(eviction="lru", fraction=1.0)
+        self._stash_three(cache)
+        # session 1 comes back for another turn: most recently used now
+        turn = make_request(11, input_tokens=80, output_tokens=16,
+                            session=1, history=64, turn=1)
+        finish_turn(cache, turn)
+        cache._evict_one()
+        assert cache.cached_tokens(1) > 0  # survived: session 2 went
+
+    def test_reclaim_never_touches_active_allocations(self):
+        cache = make_cache(pool_gib=0.25, fraction=1.0)  # 128 blocks
+        active = make_request(1, input_tokens=1000, output_tokens=10)
+        assert cache.acquire(active) == 0
+        finish_turn(cache, make_request(2, input_tokens=500,
+                                        output_tokens=12, session=7))
+        # 1000 active + 512 cached of 2048 pool; this prompt needs more
+        # than free + cached can supply -> stall, nothing disturbed
+        big = make_request(3, input_tokens=1600, output_tokens=10)
+        before = (cache.allocator.used_blocks, cache.cached_blocks,
+                  cache.stats.evictions)
+        assert cache.acquire(big) is None
+        assert (cache.allocator.used_blocks, cache.cached_blocks,
+                cache.stats.evictions) == before
+        # a prompt the cache *can* make room for evicts session 7 but
+        # leaves the active allocation alone
+        fits = make_request(4, input_tokens=900, output_tokens=10)
+        assert cache.acquire(fits) == 0
+        assert cache.cached_sessions == 0
+        assert cache.allocator.allocation_tokens(1) == 1000
+
+    def test_reclaimable_cap_rejects_oversized_stash(self):
+        cache = make_cache(pool_gib=0.25, fraction=0.25)  # cap 32 blocks
+        too_big = make_request(1, input_tokens=560, output_tokens=16,
+                               session=5)  # 36 blocks > cap
+        finish_turn(cache, too_big)
+        assert cache.cached_sessions == 0
+        assert cache.stats.rejected_stashes == 1
+        assert cache.allocator.used_blocks == 0  # released outright
+
+    def test_cap_evicts_down_to_fit_new_stash(self):
+        cache = make_cache(pool_gib=0.25, fraction=0.25)  # cap 32 blocks
+        for sid in (1, 2):
+            finish_turn(cache, make_request(
+                sid, input_tokens=224, output_tokens=16, session=sid))
+        # 2 x 15 blocks cached; a third 15-block stash busts the cap
+        finish_turn(cache, make_request(3, input_tokens=224,
+                                        output_tokens=16, session=3))
+        assert cache.cached_blocks <= cache.reclaimable_block_cap
+        assert cache.cached_tokens(1) == 0  # LRU victim
+        assert cache.cached_tokens(3) > 0
+
+
+class TestEvictionPolicies:
+    def _entries(self):
+        return [
+            CachedPrefix(session_id=1, tokens=64, blocks=4, alloc_key=1,
+                         stored_at=1, last_used=9),
+            CachedPrefix(session_id=2, tokens=320, blocks=20, alloc_key=2,
+                         stored_at=2, last_used=5),
+            CachedPrefix(session_id=3, tokens=128, blocks=8, alloc_key=3,
+                         stored_at=3, last_used=7),
+        ]
+
+    def test_policy_selection(self):
+        entries = self._entries()
+        assert get_eviction_policy("lru")().select(entries).session_id == 2
+        assert get_eviction_policy("fifo")().select(entries).session_id == 1
+        assert get_eviction_policy("largest")().select(
+            entries).session_id == 2
+
+
+class TestStats:
+    def test_merged_sums_counters(self):
+        a = PrefixCacheStats(lookups=10, eligible=8, hits=4,
+                             saved_prefill_tokens=100, stashed=5,
+                             evictions=2, reclaimed_blocks=20)
+        b = PrefixCacheStats(lookups=6, eligible=4, hits=2,
+                             saved_prefill_tokens=50, rejected_stashes=1,
+                             preemptions=1)
+        merged = PrefixCacheStats.merged([a, b])
+        assert merged.lookups == 16
+        assert merged.hits == 6
+        assert merged.misses == 6
+        assert merged.hit_rate == 6 / 12
+        assert merged.saved_prefill_tokens == 150
+        assert merged.preemptions == 1
+
+    def test_hit_rate_zero_when_nothing_eligible(self):
+        assert PrefixCacheStats().hit_rate == 0.0
+
+
+def tiny_pool_cache(blocks, block_tokens=16):
+    """A cache over a pool of exactly ``blocks`` blocks."""
+    model = get_model("llama3-8b")
+    block_bytes = block_tokens * 131072
+    allocator = PagedKvAllocator(model, KvBlockConfig(
+        block_tokens=block_tokens, pool_bytes=float(blocks * block_bytes)))
+    assert allocator.total_blocks == blocks
+    return PrefixCache(allocator)
+
+
+class TestSchedulerPressure:
+    def _drive(self, scheduler, max_iterations=500):
+        now = 0.0
+        while scheduler.has_work and max_iterations:
+            max_iterations -= 1
+            now += 1.0
+            plan = scheduler.plan_iteration()
+            if not plan.has_work:
+                break
+            for request in plan.decode_requests:
+                request.record_token(now)
+                if request.done:
+                    request.state = RequestState.FINISHED
+                    request.finish_time = now
+            scheduler.complete_iteration(plan)
+
+    def test_admission_stalls_until_blocks_free(self):
+        cache = tiny_pool_cache(blocks=8)  # 128 tokens
+        scheduler = ContinuousBatchingScheduler(
+            get_model("llama3-8b"), SchedulerLimits(), prefix_cache=cache)
+        scheduler.enqueue(make_request(1, input_tokens=96, output_tokens=4))
+        scheduler.enqueue(make_request(2, input_tokens=96, output_tokens=4))
+        scheduler.plan_iteration()
+        # request 1 holds 6 of 8 blocks; request 2 must stall
+        assert scheduler.active_count == 1
+        assert len(scheduler.queued) == 1
+        self._drive(scheduler)
+        # once request 1 finished, request 2 was admitted and finished
+        assert not scheduler.has_work
+
+    def test_decode_growth_preempts_youngest(self):
+        cache = tiny_pool_cache(blocks=6)  # 96 tokens
+        scheduler = ContinuousBatchingScheduler(
+            get_model("llama3-8b"), SchedulerLimits(), prefix_cache=cache)
+        old = make_request(1, input_tokens=32, output_tokens=40)
+        young = make_request(2, input_tokens=32, output_tokens=40)
+        scheduler.enqueue(old)
+        scheduler.enqueue(young)
+        self._drive(scheduler)
+        assert cache.stats.preemptions >= 1
+        # the victim was requeued for full recompute: its generated
+        # tokens were re-prefilled on re-admission
+        assert old.done and young.done
+        assert not scheduler.has_work
+
+    def test_unservable_single_context_fails_loudly(self):
+        cache = tiny_pool_cache(blocks=4)  # 64 tokens
+        scheduler = ContinuousBatchingScheduler(
+            get_model("llama3-8b"), SchedulerLimits(), prefix_cache=cache)
+        scheduler.enqueue(make_request(1, input_tokens=60,
+                                      output_tokens=40))
+        with pytest.raises(MemoryError, match="kv_budget_bytes"):
+            self._drive(scheduler)
+
+
+def run_signature(report):
+    result = report.result
+    return (
+        [(r.request_id, r.first_token_time, r.finish_time,
+          r.generated_tokens) for r in result.finished],
+        result.total_time_s,
+        result.iterations,
+    )
+
+
+class TestDisabledParity:
+    """``enabled=False`` (or no spec) must be bit-identical to cold."""
+
+    @pytest.mark.parametrize("replicas", [1, 4])
+    @pytest.mark.parametrize("arrival", ["poisson", "sessions"])
+    def test_disabled_is_bit_identical(self, replicas, arrival):
+        deploy = dict(chip="ador", model="llama3-8b", replicas=replicas,
+                      kv_budget_bytes=4 * GIB)
+        if replicas > 1:
+            deploy["router"] = "session-affinity"
+        workload = WorkloadSpec(
+            trace="ultrachat", rate_per_s=4.0, num_requests=120, seed=9,
+            arrival=arrival,
+            session=SessionConfig() if arrival == "sessions" else None)
+        runner = simulate if replicas == 1 else simulate_cluster
+        cold = runner(DeploymentSpec(**deploy), workload)
+        off = runner(DeploymentSpec(
+            **deploy, prefix_cache=PrefixCacheSpec(enabled=False)),
+            workload)
+        assert run_signature(cold) == run_signature(off)
+        assert cold.result.prefix_cache is None
+        assert off.result.prefix_cache is None
+
+    def test_enabled_reports_stats_and_hits(self):
+        workload = WorkloadSpec(
+            trace="ultrachat", rate_per_s=2.0, num_requests=150, seed=9,
+            arrival="sessions", session=SessionConfig())
+        hot = simulate(DeploymentSpec(
+            chip="ador", model="llama3-8b", kv_budget_bytes=8 * GIB,
+            prefix_cache=PrefixCacheSpec()), workload)
+        stats = hot.result.prefix_cache
+        assert stats is not None
+        assert stats.hits > 0
+        assert stats.saved_prefill_tokens > 0
+        assert "prefix cache" in hot.summary()
+
+
+class TestApiIntegration:
+    def test_deployment_spec_round_trip(self):
+        spec = DeploymentSpec(
+            chip="ador", model="llama3-8b",
+            prefix_cache=PrefixCacheSpec(reclaimable_fraction=0.75,
+                                         eviction="fifo"))
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_prefix_cache_requires_continuous_batching(self):
+        with pytest.raises(ValueError, match="continuous"):
+            DeploymentSpec(chip="ador", model="llama3-8b",
+                           batching="static",
+                           prefix_cache=PrefixCacheSpec())
+
+    def test_find_capacity_rejects_prefix_cache(self):
+        deployment = DeploymentSpec(chip="ador", model="llama3-8b",
+                                    prefix_cache=PrefixCacheSpec())
+        workload = WorkloadSpec(trace="ultrachat", num_requests=50, seed=1)
+        with pytest.raises(ValueError, match="prefix_cache"):
+            find_capacity(deployment, workload)
+
+    def test_disabled_spec_passes_capacity(self):
+        deployment = DeploymentSpec(
+            chip="ador", model="llama3-8b",
+            prefix_cache=PrefixCacheSpec(enabled=False))
+        workload = WorkloadSpec(trace="fixed-64x16", num_requests=20,
+                                seed=1)
+        report = find_capacity(deployment, workload, iterations=2,
+                               rate_low=0.5, rate_high=8.0)
+        assert report.capacity.max_requests_per_s > 0
+
+    def test_session_workload_round_trip(self):
+        workload = WorkloadSpec(
+            trace="ultrachat", rate_per_s=2.0, num_requests=50, seed=3,
+            arrival="sessions", session=SessionConfig(max_context=2048))
+        assert WorkloadSpec.from_dict(workload.to_dict()) == workload

@@ -74,6 +74,34 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="missing"):
             load_requests(path)
 
+    def test_session_turn_fields_round_trip(self, tmp_path):
+        from repro.serving.sessions import (
+            MultiTurnSessionGenerator,
+            SessionConfig,
+        )
+
+        rng = np.random.default_rng(5)
+        generator = MultiTurnSessionGenerator(SessionConfig(), rng)
+        stream = generator.generate_stream(30, 4.0)
+        path = tmp_path / "sessions.json"
+        save_requests(stream, path)
+        loaded = load_requests(path)
+        by_id = {r.request_id: r for r in loaded}
+        assert any(r.history_tokens > 0 for r in loaded)
+        for a in stream:
+            b = by_id[a.request_id]
+            assert (a.session_id, a.turn_index, a.history_tokens) \
+                == (b.session_id, b.turn_index, b.history_tokens)
+
+    def test_old_traces_default_session_fields(self, stream, tmp_path):
+        """Traces written before the prefix-reuse fields load cleanly."""
+        path = tmp_path / "trace.json"
+        save_requests(stream, path)
+        assert "turn_index" not in path.read_text()
+        for request in load_requests(path):
+            assert request.turn_index == 0
+            assert request.history_tokens == 0
+
 
 class TestTimelineExport:
     def test_export_and_load(self, stream, tmp_path):
