@@ -11,7 +11,6 @@ from repro.analysis.tables import format_table
 from repro.core.scheduling import device_model_for
 from repro.hardware.presets import a100, ador_table3
 from repro.models.multimodal import DitWorkload, LmmWorkload
-from repro.models.zoo import get_model
 
 TEXT_TOKENS = 128
 

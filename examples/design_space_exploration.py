@@ -58,7 +58,9 @@ def main() -> None:
     ))
 
     chip = result.best.chip
-    print(f"\nproposed design ({'requirements met' if result.requirements_met else 'best effort'}):")
+    verdict = "requirements met" if result.requirements_met \
+        else "best effort"
+    print(f"\nproposed design ({verdict}):")
     print(f"  {chip}")
     print(f"  systolic array : {chip.systolic_array}")
     print(f"  MAC tree       : {chip.mac_tree}")

@@ -16,6 +16,7 @@ embedded as a full custom :class:`~repro.hardware.chip.ChipSpec`, which
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Any
 
 from repro.cluster.autoscaler import AutoscaleSpec
 from repro.hardware.chip import ChipKind, ChipSpec
@@ -25,6 +26,7 @@ from repro.hardware.memory import Dram, DramKind, Sram
 from repro.hardware.registry import get_chip
 from repro.hardware.technology import ProcessNode
 from repro.serving.dataset import ChatTraceConfig
+from repro.serving.request import Request
 from repro.serving.prefix_cache import PrefixCacheSpec
 from repro.serving.scheduler import SchedulerLimits
 from repro.serving.sessions import SessionConfig
@@ -44,7 +46,7 @@ def _finite(value: float | None) -> float | None:
     return value
 
 
-def _require_mapping(data, context: str) -> dict:
+def _require_mapping(data: Any, context: str) -> dict[str, Any]:
     if not isinstance(data, dict):
         raise ValueError(
             f"{context} section must be a JSON object, "
@@ -52,7 +54,8 @@ def _require_mapping(data, context: str) -> dict:
     return data
 
 
-def _reject_unknown_keys(data: dict, allowed: frozenset, context: str) -> None:
+def _reject_unknown_keys(data: dict[str, Any], allowed: frozenset[str],
+                         context: str) -> None:
     """A typo'd field silently running with defaults would defeat the
     whole reproducible-config contract — fail loudly instead."""
     unknown = set(data) - allowed
@@ -62,19 +65,19 @@ def _reject_unknown_keys(data: dict, allowed: frozenset, context: str) -> None:
             f"allowed: {', '.join(sorted(allowed))}")
 
 
-def _sram_to_dict(sram: Sram) -> dict:
+def _sram_to_dict(sram: Sram) -> dict[str, float | None]:
     return {"size_bytes": sram.size_bytes,
             "bandwidth_bytes_per_s": _finite(sram.bandwidth_bytes_per_s)}
 
 
-def _sram_from_dict(data: dict) -> Sram:
+def _sram_from_dict(data: dict[str, Any]) -> Sram:
     bandwidth = data.get("bandwidth_bytes_per_s")
     return Sram(size_bytes=data["size_bytes"],
                 bandwidth_bytes_per_s=float("inf") if bandwidth is None
                 else bandwidth)
 
 
-def chip_to_dict(chip: ChipSpec) -> dict:
+def chip_to_dict(chip: ChipSpec) -> dict[str, Any]:
     """Serialize a :class:`ChipSpec` to a JSON-compatible dict."""
     return {
         "name": chip.name,
@@ -109,7 +112,7 @@ def chip_to_dict(chip: ChipSpec) -> dict:
     }
 
 
-def chip_from_dict(data: dict) -> ChipSpec:
+def chip_from_dict(data: dict[str, Any]) -> ChipSpec:
     """Rebuild a :class:`ChipSpec` from :func:`chip_to_dict` output."""
     process = data["process"]
     if process not in _PROCESS_BY_LABEL:
@@ -204,7 +207,7 @@ class WorkloadSpec:
             return self.trace
         return get_trace(self.trace)
 
-    def build_requests(self) -> list:
+    def build_requests(self) -> list[Request]:
         """Generate the deterministic request stream this spec describes."""
         import numpy as np
 
@@ -223,7 +226,7 @@ class WorkloadSpec:
                                             self.rate_per_s, rng)
         return generator.generate(self.num_requests)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         trace = self.trace if isinstance(self.trace, str) \
             else asdict(self.trace)
         return {
@@ -241,7 +244,7 @@ class WorkloadSpec:
          "session"))
 
     @classmethod
-    def from_dict(cls, data: dict) -> "WorkloadSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "WorkloadSpec":
         _require_mapping(data, "workload")
         _reject_unknown_keys(data, cls._FIELDS, "workload")
         trace = data.get("trace", "ultrachat")
@@ -353,7 +356,7 @@ class DeploymentSpec:
             kv_budget_bytes=budget,
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         chip = self.chip if isinstance(self.chip, str) \
             else chip_to_dict(self.chip)
         return {
@@ -378,7 +381,7 @@ class DeploymentSpec:
          "replicas", "router", "autoscale", "prefix_cache"))
 
     @classmethod
-    def from_dict(cls, data: dict) -> "DeploymentSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "DeploymentSpec":
         _require_mapping(data, "deployment")
         _reject_unknown_keys(data, cls._FIELDS, "deployment")
         chip = data.get("chip", "ador")
@@ -452,7 +455,7 @@ class CapacitySpec:
         if self.parallel_probes < 1:
             raise ValueError("parallel_probes must be >= 1")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "slo_tbt_s": self.slo_tbt_s,
             "slo_ttft_s": self.slo_ttft_s,
@@ -470,7 +473,7 @@ class CapacitySpec:
          "iterations", "early_abort", "reuse_arrivals", "parallel_probes"))
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CapacitySpec":
+    def from_dict(cls, data: dict[str, Any]) -> "CapacitySpec":
         _require_mapping(data, "capacity")
         _reject_unknown_keys(data, cls._FIELDS, "capacity")
         return cls(**{key: data[key] for key in cls._FIELDS if key in data})
@@ -498,7 +501,7 @@ class Experiment:
         if self.max_sim_seconds <= 0:
             raise ValueError("max_sim_seconds must be positive")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         data = {
             "deployment": self.deployment.to_dict(),
             "workload": self.workload.to_dict(),
@@ -514,7 +517,7 @@ class Experiment:
         ("deployment", "workload", "max_sim_seconds", "name", "capacity"))
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Experiment":
+    def from_dict(cls, data: dict[str, Any]) -> "Experiment":
         _require_mapping(data, "experiment")
         _reject_unknown_keys(data, cls._FIELDS, "experiment")
         capacity = data.get("capacity")

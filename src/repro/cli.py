@@ -7,7 +7,8 @@ Five subcommands cover the library's main entry points:
 * ``search``   — run the ADOR architecture search (Fig. 9);
 * ``serve``    — simulate a serving endpoint and report QoS (Fig. 14b);
 * ``capacity`` — search the max sustainable rate under an SLO (Fig. 16);
-* ``run``      — execute a declarative ``experiment.json`` end-to-end.
+* ``run``      — execute a declarative ``experiment.json`` end-to-end;
+* ``lint``     — run the AST-based determinism & contract checker.
 
 Chips resolve by name through :mod:`repro.hardware.registry`, so presets
 registered by third-party code are addressable here without changes.
@@ -47,6 +48,13 @@ from repro.hardware.area import AreaModel
 from repro.hardware.power import PowerModel
 from repro.hardware.registry import CHIP_REGISTRY, get_chip, list_chips
 from repro.models.zoo import get_model, list_models
+from repro.quality.lint import (
+    exit_code,
+    format_json,
+    format_text,
+    lint_paths,
+)
+from repro.quality.rules import all_rules, rule_tokens
 from repro.serving.capacity import EndpointUnservable
 
 
@@ -326,6 +334,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        violations = lint_paths(args.paths, rules=args.rule or None)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {_exc_message(exc)}", file=sys.stderr)
+        return 2
+    print(format_json(violations) if args.format == "json"
+          else format_text(violations))
+    return exit_code(violations)
+
+
+def _lint_epilog() -> str:
+    """The rule catalog, generated from the live rule registry so the
+    help text can't drift from what actually runs."""
+    lines = ["rules:"]
+    for cls in all_rules():
+        lines.append(f"  {cls.id}  {cls.name}")
+        lines.append(f"      {cls.rationale}")
+        if cls.include:
+            lines.append(f"      scope: paths matching "
+                         f"{', '.join(cls.include)}")
+        if cls.exclude:
+            lines.append(f"      exempt paths: {', '.join(cls.exclude)}")
+    lines += [
+        "",
+        "suppression:",
+        "  # repro: allow[<rule>] <one-line justification>",
+        "      drops that rule's violation on the same line; the",
+        "      justification is mandatory and an unknown rule id is",
+        "      itself a violation (R0).",
+        "",
+        "exit status is the violation count (capped at 100).",
+    ]
+    return "\n".join(lines)
+
+
 def _exc_message(exc: BaseException) -> str:
     # str(KeyError) wraps the message in quotes; unwrap for clean output
     return exc.args[0] if exc.args and isinstance(exc.args[0], str) \
@@ -508,6 +552,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--context-bucket", type=int, default=1,
                      help="decode-context quantization bucket for the sim "
                           "cache; 1 (default) is exact")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST-based determinism & contract checker",
+        description="Statically check the reproducibility contracts the "
+                    "repo's headline claims rest on: no wall-clock or "
+                    "unseeded randomness in the simulator core, frozen "
+                    "round-trippable specs, no mutable defaults, no "
+                    "float ==, position-not-id routing.",
+        epilog=_lint_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directory trees to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--rule", action="append", default=None,
+                      choices=rule_tokens(), metavar="RULE",
+                      help="check only this rule (repeatable; short id "
+                           "like R1 or name like determinism)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text",
+                      help="report format; json is the CI artifact "
+                           "shape")
     return parser
 
 
@@ -520,6 +586,7 @@ def main(argv: list | None = None) -> int:
         "serve": _cmd_serve,
         "capacity": _cmd_capacity,
         "run": _cmd_run,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -9,7 +9,7 @@ checks and the tests assert its invariants (no overlap, full coverage).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.chip import ChipSpec
 from repro.models.config import ModelConfig

@@ -26,7 +26,6 @@ from repro.core.allocation import hda_gemm_seconds
 from repro.core.dataflow import CoreSyncMethod, DataflowKind, MultiCoreDataflow
 from repro.hardware.chip import ChipKind, ChipSpec
 from repro.models.config import ModelConfig
-from repro.models.kv_cache import kv_cache_bytes
 from repro.models.layers import (
     Operator,
     OperatorKind,

@@ -13,7 +13,7 @@ would be needed — the paper's feedback path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.design_point import DesignEvaluation, DesignPoint, evaluate_area
 from repro.core.requirements import SearchRequest

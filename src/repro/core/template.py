@@ -16,7 +16,7 @@ from repro.core.requirements import VendorConstraints
 from repro.hardware.chip import ChipKind, ChipSpec
 from repro.hardware.components import MacTree, SystolicArray, VectorUnit
 from repro.hardware.interconnect import NocSpec, P2pSpec
-from repro.hardware.memory import Dram, DramKind, Sram, KIB, MIB
+from repro.hardware.memory import Dram, DramKind, Sram, KIB
 from repro.hardware.technology import ProcessNode
 
 

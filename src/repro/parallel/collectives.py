@@ -21,7 +21,6 @@ start — captured here as a per-method overlappable fraction.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 
 from repro.hardware.interconnect import P2pSpec

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.chip import ChipKind, ChipSpec
 from repro.models.config import ModelConfig

@@ -1,0 +1,43 @@
+"""Static quality gates: the AST-based determinism & contract linter.
+
+``repro.quality`` turns the repo's reproducibility invariants — no
+wall-clock or unseeded randomness in the simulator core, frozen
+round-trippable specs, position-not-id routing — from runtime-test
+folklore into machine-checked rules.  ``repro lint`` runs them from the
+CLI; ``tests/test_lint.py::test_codebase_clean`` enforces a clean tree
+in tier-1.
+"""
+
+from repro.quality.lint import (
+    exit_code,
+    format_json,
+    format_text,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.quality.rules import (
+    RULE_REGISTRY,
+    Rule,
+    Violation,
+    all_rules,
+    register_rule,
+    resolve_rule,
+    rule_tokens,
+)
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "exit_code",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "resolve_rule",
+    "rule_tokens",
+]

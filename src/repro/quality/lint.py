@@ -1,0 +1,188 @@
+"""The ``repro lint`` driver: run the rule set over files, honor pragmas.
+
+Static enforcement of the repo's reproducibility contracts (see
+:mod:`repro.quality.rules` for the rules themselves).  The entry points:
+
+* :func:`lint_source` — lint one source string (tests, editors);
+* :func:`lint_paths` — lint files and directory trees;
+* :func:`format_text` / :func:`format_json` — render violations.
+
+Inline suppression: a violation on a line carrying
+``# repro: allow[<rule>] <justification>`` is dropped, where ``<rule>``
+is a comma-separated list of short ids (``R1``) or names
+(``determinism``).  The justification is mandatory — a pragma without
+one (or naming an unknown rule) is itself a violation (rule ``R0``), so
+every escape hatch in the tree documents why it exists.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.quality.rules import (
+    PragmaHygieneRule,
+    Rule,
+    Violation,
+    all_rules,
+    resolve_rule,
+)
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]\s*(.*)$")
+
+# exit codes above this are shell-reserved (126/127) or signal-shaped;
+# the count still reports exactly through --format json
+EXIT_CODE_CAP = 100
+
+
+def _select(rules: Iterable[str] | None) -> list[type[Rule]]:
+    if rules is None:
+        return all_rules()
+    selected = []
+    for token in rules:
+        cls = resolve_rule(token)
+        if cls not in selected:
+            selected.append(cls)
+    return selected
+
+
+def _comments(source: str) -> dict[int, str]:
+    """Real comment tokens by line (docstrings mentioning the pragma
+    syntax must not count as pragmas)."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except tokenize.TokenError:   # unterminated constructs; ast caught it
+        pass
+    return comments
+
+
+def _scan_pragmas(path: str, source: str,
+                  known: dict[str, type[Rule]]) \
+        -> tuple[dict[int, set[str]], list[Violation]]:
+    """Collect per-line suppressed-rule ids and R0 hygiene violations."""
+    suppressions: dict[int, set[str]] = {}
+    violations: list[Violation] = []
+    for lineno, line in sorted(_comments(source).items()):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        tokens = [token.strip() for token in match.group(1).split(",")
+                  if token.strip()]
+        justification = match.group(2).strip().strip("-—:# ").strip()
+        covered: set[str] = set()
+        for token in tokens:
+            cls = known.get(token.lower())
+            if cls is None:
+                violations.append(Violation(
+                    file=path, line=lineno,
+                    rule=PragmaHygieneRule.id,
+                    name=PragmaHygieneRule.name,
+                    message=f"pragma names unknown rule {token!r}"))
+            else:
+                covered.add(cls.id)
+        if not tokens:
+            violations.append(Violation(
+                file=path, line=lineno,
+                rule=PragmaHygieneRule.id, name=PragmaHygieneRule.name,
+                message="pragma allows no rules — remove it or name "
+                        "the rule(s) it suppresses"))
+        if not justification:
+            violations.append(Violation(
+                file=path, line=lineno,
+                rule=PragmaHygieneRule.id, name=PragmaHygieneRule.name,
+                message="pragma without a justification — say why the "
+                        "violation is intentional on the same line"))
+        if covered:
+            suppressions.setdefault(lineno, set()).update(covered)
+    return suppressions, violations
+
+
+def lint_source(source: str, path: str,
+                rules: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one source string as if it lived at ``path``."""
+    selected = _select(rules)
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(
+            file=path, line=exc.lineno or 1, rule="parse",
+            name="syntax-error",
+            message=f"file does not parse: {exc.msg}")]
+    known = {}
+    for cls in all_rules():
+        known[cls.id.lower()] = cls
+        known[cls.name.lower()] = cls
+    suppressions, pragma_violations = _scan_pragmas(path, source, known)
+
+    violations: list[Violation] = []
+    if any(cls is PragmaHygieneRule for cls in selected):
+        violations.extend(pragma_violations)
+    for cls in selected:
+        if cls is PragmaHygieneRule or not cls.applies_to(path):
+            continue
+        violations.extend(cls(path, tree, lines).run())
+    violations = [violation for violation in violations
+                  if violation.rule == PragmaHygieneRule.id
+                  or violation.rule
+                  not in suppressions.get(violation.line, set())]
+    violations.sort(key=lambda v: (v.file, v.line, v.rule))
+    return violations
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directory trees to a sorted ``*.py`` list."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(candidate for candidate in path.rglob("*.py")
+                         if "__pycache__" not in candidate.parts)
+        elif path.suffix == ".py":
+            files.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rules: Iterable[str] | None = None) -> list[Violation]:
+    """Lint every ``*.py`` file under ``paths`` (files or trees)."""
+    violations: list[Violation] = []
+    for file in iter_python_files(paths):
+        violations.extend(lint_source(
+            file.read_text(encoding="utf-8"), str(file), rules))
+    return violations
+
+
+def format_text(violations: Sequence[Violation]) -> str:
+    """One ``file:line: RULE(name): message`` row per violation."""
+    if not violations:
+        return "repro lint: clean (0 violations)"
+    rows = [f"{violation.file}:{violation.line}: "
+            f"{violation.rule}({violation.name}): {violation.message}"
+            for violation in violations]
+    rows.append(f"repro lint: {len(violations)} violation(s)")
+    return "\n".join(rows)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    return json.dumps({
+        "count": len(violations),
+        "violations": [violation.to_dict() for violation in violations],
+    }, indent=2)
+
+
+def exit_code(violations: Sequence[Violation]) -> int:
+    """Process exit status: the violation count, shell-safely capped."""
+    return min(len(violations), EXIT_CODE_CAP)

@@ -24,7 +24,13 @@ from typing import Any, Callable, Iterator
 
 
 class Registry:
-    """A flat, case-insensitive name -> object table."""
+    """A flat, case-insensitive name -> object table.
+
+    ``names()`` and iteration are always **sorted**: help output, error
+    messages and sweep orderings derived from a registry must not depend
+    on import order (a nondeterministic CLI choice list is a
+    reproducibility bug like any other).
+    """
 
     def __init__(self, kind: str) -> None:
         self.kind = kind
@@ -34,7 +40,8 @@ class Registry:
     # Registration                                                         #
     # ------------------------------------------------------------------ #
 
-    def register(self, name: str, obj: Any = None):
+    def register(self, name: str,
+                 obj: Any = None) -> Callable[[Any], Any] | Any:
         """Register ``obj`` under ``name``; decorator form when ``obj`` is
         omitted.  Duplicate names fail loudly — silently shadowing a chip
         preset or policy would corrupt every experiment referencing it.

@@ -12,7 +12,7 @@ whole-request reservation of :class:`SchedulerLimits`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.models.config import ModelConfig
 from repro.models.kv_cache import kv_bytes_per_token

@@ -45,7 +45,7 @@ session first), ``largest`` (most blocks freed per eviction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Protocol
 
 from repro.models.config import ModelConfig

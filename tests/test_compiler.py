@@ -11,7 +11,7 @@ from repro.compiler.instructions import (
     stream_summary,
 )
 from repro.hardware.presets import ador_table3
-from repro.models.graph import build_decode_graph, total_flops
+from repro.models.graph import build_decode_graph
 from repro.models.layers import Phase
 from repro.models.zoo import get_model
 

@@ -7,8 +7,6 @@ contract: a deployment without a cache — or with ``enabled=False`` —
 is bit-identical to the cold path.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.api import (

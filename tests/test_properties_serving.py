@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) on the serving stack and analysis."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.pareto import dominates, pareto_frontier

@@ -7,7 +7,7 @@ from repro.core.scheduling import AdorDeviceModel
 from repro.hardware.presets import a100, ador_table3
 from repro.models.zoo import get_model
 from repro.perf.baselines import baseline_for
-from repro.serving.dataset import ULTRACHAT_LIKE, fixed_trace
+from repro.serving.dataset import ULTRACHAT_LIKE
 from repro.serving.engine import ServingEngine
 from repro.serving.generator import PoissonRequestGenerator
 from repro.serving.request import Request, RequestState
