@@ -40,6 +40,7 @@ from repro.cluster.autoscaler import (
     list_autoscalers,
     register_autoscaler,
 )
+from repro.cluster.faults import FaultEvent, FaultSpec, FaultTrace
 from repro.cluster.router import get_router, list_routers, register_router
 from repro.api.specs import (
     CapacitySpec,
@@ -81,6 +82,9 @@ __all__ = [
     "get_autoscaler",
     "list_autoscalers",
     "register_autoscaler",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultTrace",
     "PrefixCacheSpec",
     "SessionConfig",
     "get_eviction_policy",

@@ -38,7 +38,7 @@ from repro.perf.cache import CachedDeviceModel
 from repro.serving.capacity import CapacityResult
 from repro.serving.engine import SimulationResult
 from repro.serving.policies import get_policy
-from repro.serving.qos import QoSReport, compute_qos
+from repro.serving.qos import QoSReport, compute_qos, goodput_per_s
 from repro.serving.utilization import UtilizationReport, utilization_report
 
 
@@ -142,7 +142,11 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
     context for higher hit rates at a small, measured latency error
     (see ``benchmarks/bench_sim_speed.py``).
     """
-    if deployment.replicas > 1 or deployment.autoscale is not None:
+    if deployment.replicas > 1 or deployment.autoscale is not None \
+            or (deployment.faults is not None
+                and deployment.faults.enabled):
+        # fault injection lives in the cluster engine — a single faulty
+        # endpoint is a fleet of one
         return simulate_cluster(deployment, workload,
                                 max_sim_seconds=max_sim_seconds,
                                 sim_cache=sim_cache,
@@ -282,6 +286,14 @@ def find_capacity(deployment: DeploymentSpec, workload: WorkloadSpec,
             "capacity search does not model prefix caching; drop the "
             "prefix_cache spec (or bisect simulate() over session "
             "rates, as benchmarks/bench_prefix_reuse.py does)")
+    if deployment.faults is not None and deployment.faults.enabled:
+        # a capacity figure quietly measured on a fault-free endpoint
+        # while the spec asks for crashes would overstate resilience;
+        # sweep simulate() under the fault spec instead
+        raise ValueError(
+            "capacity search models a fault-free endpoint; drop the "
+            "faults spec (benchmarks/bench_resilience.py sweeps "
+            "goodput under faults instead)")
     if overrides:
         base = capacity if capacity is not None else CapacitySpec()
         capacity = dataclasses.replace(base, **overrides)
@@ -353,6 +365,12 @@ class ClusterReport:
     def autoscale(self):
         return self.cluster.autoscale
 
+    @property
+    def faults(self):
+        """The run's :class:`~repro.cluster.faults.FaultTrace`
+        (``None`` when fault injection was off)."""
+        return self.cluster.faults
+
     def summary_lines(self) -> list[str]:
         qos, load = self.qos, self.load
         requests = ", ".join(str(n) for n in load.requests_per_replica)
@@ -392,6 +410,22 @@ class ClusterReport:
                 f"(fixed fleet of {spec.max_replicas} would cost "
                 f"{spec.max_replicas * self.result.total_time_s:.1f})",
             ]
+        faults = self.cluster.faults
+        if faults is not None:
+            fault_spec = self.deployment.faults
+            goodput = goodput_per_s(self.result.finished,
+                                    self.result.total_time_s,
+                                    fault_spec.slo_ttft_s)
+            lines += [
+                f"  goodput       : {goodput:.2f} req/s meeting "
+                f"TTFT <= {fault_spec.slo_ttft_s * 1e3:g} ms "
+                f"(raw {qos.requests_per_s:.2f} req/s, "
+                f"{qos.failed_requests} failed)",
+                f"  faults        : {faults.crashes} crashes "
+                f"({faults.lost_requests} requests lost), "
+                f"{faults.slowdowns} slowdowns, "
+                f"{faults.stalls} stalls; {faults.retries} retries",
+            ]
         return lines
 
     def summary(self) -> str:
@@ -427,6 +461,7 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
         fast_forward=sim_cache,
         autoscale=deployment.autoscale,
         prefix_cache=deployment.prefix_cache,
+        faults=deployment.faults,
     )
     cluster = engine.run(requests, max_sim_seconds=max_sim_seconds)
     if not cluster.merged.finished:

@@ -19,6 +19,7 @@ from dataclasses import asdict, dataclass
 from typing import Any
 
 from repro.cluster.autoscaler import AutoscaleSpec
+from repro.cluster.faults import FaultSpec
 from repro.hardware.chip import ChipKind, ChipSpec
 from repro.hardware.components import MacTree, SystolicArray, VectorUnit
 from repro.hardware.interconnect import NocSpec, NocTopology, P2pSpec
@@ -300,6 +301,14 @@ class DeploymentSpec:
     re-prefill only the fresh question.  The paged pool is sized by
     ``kv_budget_bytes``; every replica of a fleet owns its own pool and
     cache.  Continuous batching only.
+
+    ``faults`` injects deterministic failures into the fleet
+    (:class:`~repro.cluster.faults.FaultSpec`): seeded replica crashes,
+    slowdown windows and transient stalls, with crashed requests
+    requeued under a retry budget and recorded as failed once it (or
+    the deadline) is spent.  The cluster engine runs even when
+    ``replicas == 1`` — a single faulty endpoint is still a fleet of
+    one.  Continuous batching only.
     """
 
     chip: str | ChipSpec = "ador"
@@ -313,6 +322,7 @@ class DeploymentSpec:
     router: str = "round-robin"
     autoscale: AutoscaleSpec | None = None
     prefix_cache: PrefixCacheSpec | None = None
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
@@ -334,6 +344,14 @@ class DeploymentSpec:
             # policy would fake a reuse result
             raise ValueError(
                 f"prefix_cache requires continuous batching, "
+                f"got {self.batching!r}")
+        if self.faults is not None and self.faults.enabled \
+                and self.batching != "continuous":
+            # fault injection lives in the cluster engine, which is
+            # iteration-faithful only for continuous batching — a spec
+            # that silently dropped it would fake a resilience result
+            raise ValueError(
+                f"faults require continuous batching, "
                 f"got {self.batching!r}")
         # canonicalize "unlimited": None and +inf mean the same thing,
         # and specs must compare equal after a JSON round-trip
@@ -373,12 +391,14 @@ class DeploymentSpec:
             if self.autoscale is not None else None,
             "prefix_cache": self.prefix_cache.to_dict()
             if self.prefix_cache is not None else None,
+            "faults": self.faults.to_dict()
+            if self.faults is not None else None,
         }
 
     _FIELDS = frozenset(
         ("chip", "model", "num_devices", "max_batch",
          "prefill_chunk_tokens", "kv_budget_bytes", "batching",
-         "replicas", "router", "autoscale", "prefix_cache"))
+         "replicas", "router", "autoscale", "prefix_cache", "faults"))
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "DeploymentSpec":
@@ -389,6 +409,7 @@ class DeploymentSpec:
             chip = chip_from_dict(chip)
         autoscale = data.get("autoscale")
         prefix_cache = data.get("prefix_cache")
+        faults = data.get("faults")
         return cls(
             chip=chip,
             model=data.get("model", "llama3-8b"),
@@ -403,6 +424,8 @@ class DeploymentSpec:
             if autoscale is not None else None,
             prefix_cache=PrefixCacheSpec.from_dict(prefix_cache)
             if prefix_cache is not None else None,
+            faults=FaultSpec.from_dict(faults)
+            if faults is not None else None,
         )
 
 

@@ -27,6 +27,7 @@ from repro.api import (
     CapacitySpec,
     DeploymentSpec,
     EndpointOverloaded,
+    FaultSpec,
     PrefixCacheSpec,
     WorkloadSpec,
     find_capacity,
@@ -194,6 +195,37 @@ def _prefix_cache_spec(args: argparse.Namespace) -> PrefixCacheSpec | None:
     return PrefixCacheSpec(**overrides)
 
 
+_FAULT_KNOBS = (
+    ("fault_seed", "seed"),
+    ("fault_crash_mtbf_s", "crash_mtbf_s"),
+    ("fault_restart_delay_s", "restart_delay_s"),
+    ("fault_slowdown_mtbf_s", "slowdown_mtbf_s"),
+    ("fault_slowdown_factor", "slowdown_factor"),
+    ("fault_stall_mtbf_s", "stall_mtbf_s"),
+    ("fault_max_retries", "max_retries"),
+    ("fault_timeout_s", "request_timeout_s"),
+)
+
+
+def _faults_spec(args: argparse.Namespace) -> FaultSpec | None:
+    """Build a FaultSpec from ``--fault*`` flags.
+
+    A knob without ``--faults`` is a config mistake, not a default
+    to silently ignore — fail loudly, same contract as the JSON specs.
+    """
+    overrides = {field: getattr(args, arg)
+                 for arg, field in _FAULT_KNOBS
+                 if getattr(args, arg) is not None}
+    if not args.faults:
+        if overrides:
+            flags = ", ".join("--" + arg.replace("_", "-")
+                              for arg, _ in _FAULT_KNOBS
+                              if getattr(args, arg) is not None)
+            raise ValueError(f"{flags} require(s) --faults")
+        return None
+    return FaultSpec(**overrides)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         deployment = DeploymentSpec(
@@ -208,6 +240,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             kv_budget_bytes=float("inf") if args.kv_budget_gb is None
             else args.kv_budget_gb * float(1 << 30),
             prefix_cache=_prefix_cache_spec(args),
+            faults=_faults_spec(args),
         )
     except ValueError as exc:
         print(f"error: {_exc_message(exc)}", file=sys.stderr)
@@ -226,6 +259,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except EndpointOverloaded as exc:
         print(f"no requests finished — {exc}")
         return 1
+    except MemoryError as exc:
+        # an undersized --kv-budget-gb pool that cannot hold even one
+        # request's context — an actionable config error, not a crash
+        print(f"error: {_exc_message(exc)}", file=sys.stderr)
+        return 2
     except (KeyError, ValueError) as exc:
         print(f"error: {_exc_message(exc)}", file=sys.stderr)
         return 2
@@ -307,6 +345,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             overrides["prefix_cache"] = PrefixCacheSpec() \
                 if base is None \
                 else dataclasses.replace(base, enabled=True)
+        if args.no_faults and args.faults:
+            raise ValueError(
+                "--faults and --no-faults are mutually exclusive")
+        if args.no_faults:
+            overrides["faults"] = None
+        elif args.faults:
+            # turn injection on, keeping the experiment's fault knobs
+            # when it already carries a (possibly disabled) spec
+            base = experiment.deployment.faults
+            overrides["faults"] = FaultSpec() \
+                if base is None \
+                else dataclasses.replace(base, enabled=True)
         if overrides:
             experiment = dataclasses.replace(
                 experiment,
@@ -325,6 +375,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # worker pool, must still surface loudly)
         print(f"no capacity found — {_exc_message(exc)}")
         return 1
+    except MemoryError as exc:
+        # kv_budget_bytes too small for a single request's context —
+        # same one-line treatment as serve, not a traceback
+        print(f"error: {_exc_message(exc)}", file=sys.stderr)
+        return 2
     except (KeyError, ValueError, OSError, TypeError) as exc:
         # bad chip/trace/policy name, malformed spec, unreadable file —
         # a one-line CLI error, not a traceback
@@ -474,6 +529,34 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="tokens per KV block; hits are block-"
                             "aligned (default 16)")
+    serve.add_argument("--faults", action="store_true",
+                       help="inject deterministic seeded faults (replica "
+                            "crashes, slowdowns, stalls) and report "
+                            "goodput next to raw throughput")
+    serve.add_argument("--fault-seed", type=int, default=None,
+                       help="fault-schedule RNG seed, independent of the "
+                            "workload seed (default 0)")
+    serve.add_argument("--fault-crash-mtbf-s", type=float, default=None,
+                       help="mean seconds between crashes per replica "
+                            "(exponential; default: no crashes)")
+    serve.add_argument("--fault-restart-delay-s", type=float, default=None,
+                       help="seconds a crashed fixed-fleet replica stays "
+                            "down before restarting (default 10)")
+    serve.add_argument("--fault-slowdown-mtbf-s", type=float, default=None,
+                       help="mean seconds between slowdown windows per "
+                            "replica (default: none)")
+    serve.add_argument("--fault-slowdown-factor", type=float, default=None,
+                       help="device-step multiplier inside a slowdown "
+                            "window (default 2)")
+    serve.add_argument("--fault-stall-mtbf-s", type=float, default=None,
+                       help="mean seconds between transient stalls per "
+                            "replica (default: none)")
+    serve.add_argument("--fault-max-retries", type=int, default=None,
+                       help="crash requeues per request before it is "
+                            "recorded failed (default 2)")
+    serve.add_argument("--fault-timeout-s", type=float, default=None,
+                       help="per-request deadline from arrival; a retry "
+                            "past it fails the request (default: none)")
     serve.add_argument("--no-sim-cache", action="store_true",
                        help="disable the simulator fast path (device-"
                             "model memoization + decode fast-forward); "
@@ -546,6 +629,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-prefix-cache", action="store_true",
                      help="strip the experiment's prefix_cache section "
                           "and run the cold path")
+    run.add_argument("--faults", action="store_true",
+                     help="enable fault injection, keeping the "
+                          "experiment's fault knobs when it carries a "
+                          "(possibly disabled) faults section")
+    run.add_argument("--no-faults", action="store_true",
+                     help="strip the experiment's faults section and "
+                          "run the fault-free engine")
     run.add_argument("--no-sim-cache", action="store_true",
                      help="disable the simulator fast path (bit-identical "
                           "results, reference speed)")

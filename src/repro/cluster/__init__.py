@@ -30,6 +30,12 @@ Autoscaled results carry an :class:`AutoscaleTrace` (scale events,
 fleet-size/utilization timeline, replica-seconds) next to the usual
 fleet QoS.
 
+With a :class:`FaultSpec` (:mod:`repro.cluster.faults`) the run injects
+deterministic, seeded faults — replica crashes (in-flight work lost,
+requests requeued under a retry budget), slowdown windows and transient
+stalls — and the result carries a :class:`FaultTrace` with the event
+log, retry counters and the requests that ended *failed*.
+
 The declarative API reaches it via ``DeploymentSpec(replicas=4,
 router="least-outstanding")`` — plus ``autoscale=AutoscaleSpec(...)``
 for an elastic fleet; :func:`repro.api.simulate` dispatches to
@@ -48,6 +54,14 @@ from repro.cluster.autoscaler import (
     register_autoscaler,
 )
 from repro.cluster.engine import ClusterEngine, ReplicaSim
+from repro.cluster.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultRecord,
+    FaultSpec,
+    FaultTrace,
+    ReplicaFaultPlan,
+)
 from repro.cluster.report import (
     AutoscaleTrace,
     ClusterResult,
@@ -76,6 +90,12 @@ __all__ = [
     "AutoscaleTrace",
     "FleetSample",
     "ScaleEvent",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSpec",
+    "FaultTrace",
+    "ReplicaFaultPlan",
     "aggregate_cluster",
     "load_imbalance",
     "merge_results",

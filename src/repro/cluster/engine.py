@@ -32,6 +32,7 @@ space goes non-contiguous after a scale-down.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 
 from repro.cluster.autoscaler import (
@@ -39,6 +40,12 @@ from repro.cluster.autoscaler import (
     AutoscaleSpec,
     FleetObservation,
     make_autoscaler,
+)
+from repro.cluster.faults import (
+    FaultInjector,
+    FaultSpec,
+    FaultTrace,
+    ReplicaFaultPlan,
 )
 from repro.cluster.report import (
     AutoscaleTrace,
@@ -55,6 +62,7 @@ from repro.serving.engine import (
     SimulationResult,
     run_decode_burst,
 )
+from repro.serving.prefix_cache import PrefixCacheStats
 from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
 
@@ -102,6 +110,10 @@ class ReplicaSim:
         self.drain_started_at: float | None = None
         self.retired_at: float | None = None
         self.reported_finished = 0  # completions already seen by a decision
+        # --- faults (armed only on the fault-enabled run paths) ---
+        self.fault_plan: ReplicaFaultPlan | None = None
+        self.restart_at = 0.0  # crashed-until instant; 0.0 = never down
+        self._prior_cache_stats: list[PrefixCacheStats] = []
 
     # ------------------------------------------------------------------ #
     # Router-facing state                                                  #
@@ -228,10 +240,142 @@ class ReplicaSim:
                 plan.finished_decodes = finished_now
             scheduler.complete_iteration(plan)
 
+    # ------------------------------------------------------------------ #
+    # Fault-aware stepping (only entered when faults are enabled)          #
+    # ------------------------------------------------------------------ #
+
+    def advance_faulty(self, target: float, horizon: float) -> None:
+        """Fault-aware :meth:`advance_to`: honors the replica's stall
+        windows, slowdown multipliers and next crash boundary.
+
+        The clock never crosses the plan's ``crash_at`` — the cluster
+        fires the crash there — and inside clean segments the advance
+        delegates to the plain path (same fast-forward, same timing).
+        """
+        plan = self.fault_plan
+        if plan is None:
+            self.advance_to(target, horizon)
+            return
+        limit = min(target, horizon)
+        crash = plan.crash_at
+        if crash is not None:
+            limit = min(limit, crash)
+        if self.now < self.restart_at:
+            # down after a crash: the clock holds until new work routed
+            # post-restart pulls it across the outage (same idle-clock
+            # rule as advance_to — downtime with no work costs nothing)
+            if not self.has_work:
+                return
+            self._snapshot = None
+            self.now = min(self.restart_at, limit)
+            if self.now < self.restart_at:
+                return
+        while self.now < limit:
+            if not self.has_work:
+                return
+            window = plan.window_at(self.now)
+            if window is not None and window.kind == "stall":
+                self._snapshot = None
+                self.now = min(window.end_s, limit)
+                continue
+            segment = plan.next_boundary(self.now, limit)
+            before = self.now
+            if window is None:
+                self.advance_to(segment, horizon)
+            else:
+                self._advance_slow(segment, window.factor)
+            if not self.now > before:
+                # idle with nothing arriving before the boundary — the
+                # inner advance already concluded there is no progress
+                return
+
+    def _advance_slow(self, limit: float, factor: float) -> None:
+        """Straggler window: per-iteration advance with every step time
+        multiplied by ``factor``.
+
+        No decode fast-forward here — a burst is timed at full speed and
+        would cross the window boundary at the wrong rate.  The loop is
+        otherwise the same iteration body as :meth:`advance_to`.
+        """
+        self._snapshot = None
+        scheduler = self.scheduler
+        pending = self.pending
+        engine = self.engine
+        while self.now < limit:
+            while pending and pending[0].arrival_time <= self.now:
+                scheduler.enqueue(pending.popleft())
+            plan = scheduler.plan_iteration()
+            if not plan.has_work:
+                if not pending:
+                    return
+                self.now = min(pending[0].arrival_time, limit)
+                continue
+            step, decode_part, prefill_part = \
+                engine._iteration_seconds(plan)
+            step *= factor
+            decode_part *= factor
+            prefill_part *= factor
+            self.now += step
+            self.busy += step
+            self.decode_time += decode_part
+            self.prefill_time += prefill_part
+            self.iterations += 1
+            if plan.decode_batch:
+                self.decode_steps += 1
+                finished_now: list[Request] = []
+                for request in plan.decode_requests:
+                    request.record_token(self.now)
+                    if request.done:
+                        self.finished.append(request)
+                        finished_now.append(request)
+                        self._outstanding_tokens -= (
+                            request.input_tokens + request.output_tokens)
+                plan.finished_decodes = finished_now
+            scheduler.complete_iteration(plan)
+
+    def crash_reset(self, when: float, restart_at: float) -> list[Request]:
+        """Crash at ``when``: every in-flight request loses its generated
+        work and leaves the replica; scheduler and per-replica prefix
+        cache restart cold.  Returns the lost requests (sorted by
+        arrival, then id — a stable requeue order independent of
+        scheduler internals) for cluster-level retry accounting.
+        Completed work and busy/iteration counters survive — a crash
+        destroys state, not history.
+        """
+        lost = (list(self.scheduler.prefilling)
+                + list(self.scheduler.decoding)
+                + list(self.scheduler.queued)
+                + list(self.pending))
+        tokens = sum(r.input_tokens + r.output_tokens for r in lost)
+        self.assigned_requests -= len(lost)
+        self.assigned_tokens -= tokens
+        self._outstanding_tokens -= tokens
+        engine = self.engine
+        if self.prefix_cache is not None:
+            self._prior_cache_stats.append(self.prefix_cache.stats)
+            self.prefix_cache = engine.build_prefix_cache()
+        self.scheduler = ContinuousBatchingScheduler(
+            engine.model, engine.limits, prefix_cache=self.prefix_cache)
+        self.pending = deque()
+        self.now = max(self.now, when)
+        self.restart_at = restart_at
+        self._snapshot = None
+        lost.sort(key=lambda r: (r.arrival_time, r.request_id))
+        return lost
+
     def result(self) -> SimulationResult:
         """This replica's outcome in the single-engine result shape."""
         unfinished = (self.scheduler.prefilling + self.scheduler.decoding
                       + list(self.scheduler.queued) + list(self.pending))
+        cache_stats = None
+        if self.prefix_cache is not None:
+            # a crash restarts the cache cold; pre-crash stats are
+            # stashed so the replica's reuse history stays complete
+            if self._prior_cache_stats:
+                cache_stats = PrefixCacheStats.merged(
+                    self._prior_cache_stats + [self.prefix_cache.stats])
+            else:
+                cache_stats = self.prefix_cache.stats
         return SimulationResult(
             finished=list(self.finished),
             unfinished=unfinished,
@@ -241,8 +385,7 @@ class ReplicaSim:
             busy_time_s=self.busy,
             decode_time_s=self.decode_time,
             prefill_time_s=self.prefill_time,
-            prefix_cache=self.prefix_cache.stats
-            if self.prefix_cache is not None else None,
+            prefix_cache=cache_stats,
         )
 
 
@@ -286,6 +429,7 @@ class ClusterEngine:
         autoscale: AutoscaleSpec | None = None,
         autoscaler: AutoscalerPolicy | None = None,
         prefix_cache=None,
+        faults: FaultSpec | None = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -299,6 +443,9 @@ class ClusterEngine:
         if autoscaler is not None and autoscale is None:
             raise ValueError("autoscaler instance given without an "
                              "AutoscaleSpec")
+        if faults is not None and not isinstance(faults, FaultSpec):
+            raise ValueError(
+                f"faults must be a FaultSpec or None, got {faults!r}")
         self.device = device
         self.model = model
         self.limits = limits
@@ -309,6 +456,7 @@ class ClusterEngine:
         self.autoscale = autoscale
         self.autoscaler = autoscaler
         self.prefix_cache = prefix_cache
+        self.faults = faults
         make_router(router)  # fail on unknown names at construction
         if autoscale is not None and autoscaler is None:
             make_autoscaler(autoscale.policy)
@@ -342,9 +490,19 @@ class ClusterEngine:
             max_sim_seconds: float = 600.0) -> ClusterResult:
         """Route the arrival stream, drain every replica, aggregate."""
         router = make_router(self.router)
+        faults = self.faults \
+            if self.faults is not None and self.faults.enabled else None
+        if faults is None:
+            # the fault-free paths are byte-identical to the pre-fault
+            # engine: a disabled spec enters zero new code
+            if self.autoscale is None:
+                return self._run_static(requests, max_sim_seconds, router)
+            return self._run_autoscaled(requests, max_sim_seconds, router)
         if self.autoscale is None:
-            return self._run_static(requests, max_sim_seconds, router)
-        return self._run_autoscaled(requests, max_sim_seconds, router)
+            return self._run_static_faulty(requests, max_sim_seconds,
+                                           router, faults)
+        return self._run_autoscaled_faulty(requests, max_sim_seconds,
+                                           router, faults)
 
     def _run_static(self, requests: list[Request], max_sim_seconds: float,
                     router: RouterPolicy) -> ClusterResult:
@@ -391,6 +549,220 @@ class ClusterEngine:
             fleet.decide(next_decision, max_sim_seconds, policy)
             next_decision += spec.decision_interval_s
         return fleet.finalize(max_sim_seconds)
+
+    # ------------------------------------------------------------------ #
+    # Fault-enabled run paths (never entered with faults disabled)         #
+    # ------------------------------------------------------------------ #
+
+    def _run_static_faulty(self, requests: list[Request],
+                           max_sim_seconds: float, router: RouterPolicy,
+                           spec: FaultSpec) -> ClusterResult:
+        """Fixed fleet under fault injection: event-driven routing.
+
+        The arrival stream seeds a time-ordered event heap; crashes push
+        retries back onto it, so routing, retries and failures interleave
+        in one deterministic order.  Crashed replicas restart in place
+        after ``restart_delay_s`` — the fleet size is fixed, the machine
+        reboots — and are unroutable while down.
+        """
+        injector = FaultInjector(spec, max_sim_seconds)
+        coordinator = _FaultCoordinator(spec, injector)
+        fleet = [self._new_replica(i) for i in range(self.replicas)]
+        for replica in fleet:
+            replica.fault_plan = injector.plan_for(replica.replica_id, 0.0)
+        for request in _sorted_by_arrival(requests):
+            coordinator.push(request.arrival_time, request)
+        last = 0.0
+        while True:
+            while coordinator.events:
+                now, seq, request = heapq.heappop(coordinator.events)
+                last = max(last, now)
+                for replica in fleet:
+                    replica.advance_faulty(now, max_sim_seconds)
+                coordinator.fire(fleet, now)
+                if coordinator.events and coordinator.events[0][0] < now:
+                    # a crash pushed retries behind this event in time:
+                    # requeue it (original seq) and serve them first
+                    heapq.heappush(coordinator.events,
+                                   (now, seq, request))
+                    continue
+                if coordinator.timed_out(request, now):
+                    continue
+                routable = [r for r in fleet if r.restart_at <= now]
+                if not routable:
+                    # whole fleet down: park the request until the first
+                    # restart, or give up if that lies past the horizon
+                    wake = min(r.restart_at for r in fleet)
+                    if wake > max_sim_seconds:
+                        injector.fail(request, now)
+                        continue
+                    coordinator.push(wake, request)
+                    continue
+                self._route(router, request, routable).submit(request)
+            for replica in fleet:
+                replica.advance_faulty(float("inf"), max_sim_seconds)
+            if not coordinator.fire(fleet, last):
+                break
+        results = [r.result() for r in fleet]
+        wall = max(result.total_time_s for result in results)
+        return aggregate_cluster(results, faults=injector.trace(wall))
+
+    def _run_autoscaled_faulty(self, requests: list[Request],
+                               max_sim_seconds: float,
+                               router: RouterPolicy,
+                               spec: FaultSpec) -> ClusterResult:
+        """Elastic fleet under fault injection.
+
+        Crashed replicas retire immediately (dead hardware is not a warm
+        machine) and the very next decision sees the capacity loss as
+        ``launched < desired``, replacing them through the normal
+        provisioning/warm-pool lifecycle.  Unlike the fault-free path,
+        crashes can leave the routable set empty, so requests park until
+        provisioning capacity arrives or fail when none can.
+        """
+        autoscale = self.autoscale
+        policy = self.autoscaler if self.autoscaler is not None \
+            else make_autoscaler(autoscale.policy)
+        injector = FaultInjector(spec, max_sim_seconds)
+        coordinator = _FaultCoordinator(spec, injector)
+        fleet = _FaultyDynamicFleet(self._new_replica, autoscale,
+                                    self.replicas, coordinator)
+        interval = autoscale.decision_interval_s
+        next_decision = interval
+        for request in _sorted_by_arrival(requests):
+            coordinator.push(request.arrival_time, request)
+        last = 0.0
+        while True:
+            while coordinator.events:
+                now, seq, request = heapq.heappop(coordinator.events)
+                last = max(last, now)
+                while next_decision <= now \
+                        and next_decision <= max_sim_seconds:
+                    fleet.decide(next_decision, max_sim_seconds, policy)
+                    next_decision += interval
+                for replica in list(fleet.live):
+                    fleet._advance(replica, now, max_sim_seconds)
+                fleet.fire_crashes(now)
+                if coordinator.events and coordinator.events[0][0] < now:
+                    heapq.heappush(coordinator.events,
+                                   (now, seq, request))
+                    continue
+                if coordinator.timed_out(request, now):
+                    continue
+                routable = fleet.routable(now)
+                if not routable:
+                    wake = fleet.next_capacity_at(now, next_decision,
+                                                  max_sim_seconds)
+                    if wake is None:
+                        injector.fail(request, now)
+                        continue
+                    coordinator.push(wake, request)
+                    continue
+                self._route(router, request, routable).submit(request)
+                fleet.note_arrival()
+            if fleet.has_work() and next_decision <= max_sim_seconds:
+                # keep the control loop ticking while draining, exactly
+                # like the fault-free path — crashes during the tail are
+                # fired inside decide() and feed the event heap above
+                fleet.decide(next_decision, max_sim_seconds, policy)
+                next_decision += interval
+                continue
+            for replica in list(fleet.live):
+                fleet._advance(replica, float("inf"), max_sim_seconds)
+            if not fleet.fire_crashes(last):
+                break
+        return fleet.finalize(max_sim_seconds)
+
+
+class _FaultCoordinator:
+    """Retry heap + crash firing for one fault-injected cluster run.
+
+    ``events`` holds ``(time, seq, request)`` routing events — arrivals
+    and crash retries — in one deterministic total order; ``seq`` is a
+    monotonic tiebreaker, so equal-time events keep insertion order and
+    the heap never compares two :class:`Request` objects.
+    """
+
+    def __init__(self, spec: FaultSpec, injector: FaultInjector) -> None:
+        self.spec = spec
+        self.injector = injector
+        self.events: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    def push(self, time: float, request: Request) -> None:
+        heapq.heappush(self.events, (time, self._seq, request))
+        self._seq += 1
+
+    def timed_out(self, request: Request, now: float) -> bool:
+        """Deadline check at routing time; a missed deadline is a
+        recorded terminal failure, not a silent drop."""
+        timeout = self.spec.request_timeout_s
+        if timeout is not None and now - request.arrival_time > timeout:
+            self.injector.fail(request, now)
+            return True
+        return False
+
+    def fire(self, replicas, global_now: float, on_crash=None) -> bool:
+        """Fire every due crash; returns whether any fired.
+
+        A crash is due once the run's event clock passes it, or — for a
+        replica that stopped at its crash boundary with work in hand —
+        as soon as the replica's own clock reaches it.  An idle
+        replica's *future* crash never fires during the drain: nothing
+        is there to lose and nothing waits on the machine.
+
+        ``on_crash`` selects the recovery model: ``None`` restarts the
+        machine in place after ``restart_delay_s`` (fixed fleet); a
+        callback retires it (autoscaled fleet — replacement capacity
+        comes from the policy).
+        """
+        spec = self.spec
+        fired = False
+        for replica in list(replicas):
+            plan = replica.fault_plan
+            if plan is None or plan.crash_at is None:
+                continue
+            crash = plan.crash_at
+            if crash > self.injector.horizon:
+                continue
+            due = crash <= global_now \
+                or (replica.has_work and replica.now >= crash)
+            if not due:
+                continue
+            # iterations are indivisible: a crash mid-iteration takes
+            # effect when the iteration ends (replica.now), never before
+            # the scheduled instant itself
+            when = max(crash, replica.now)
+            fired = True
+            if on_crash is None:
+                restart = when + spec.restart_delay_s
+                lost = replica.crash_reset(when, restart)
+                plan.note_crash(restart)
+                downtime = spec.restart_delay_s
+            else:
+                lost = replica.crash_reset(when, float("inf"))
+                plan.note_crash(float("inf"))
+                on_crash(replica, when)
+                downtime = 0.0
+            self.injector.record_crash(replica.replica_id, when,
+                                       len(lost), downtime)
+            for request in lost:
+                self._requeue(request, when)
+        return fired
+
+    def _requeue(self, request: Request, when: float) -> None:
+        """Retry a crash-lost request, or record it failed when its
+        retry budget or deadline is spent."""
+        spec = self.spec
+        if request.retries >= spec.max_retries:
+            self.injector.fail(request, when)
+        elif spec.request_timeout_s is not None \
+                and when - request.arrival_time > spec.request_timeout_s:
+            self.injector.fail(request, when)
+        else:
+            request.reset_for_retry()
+            self.injector.retries += 1
+            self.push(when, request)
 
 
 class _DynamicFleet:
@@ -445,6 +817,15 @@ class _DynamicFleet:
         (draining ones are already on their way out)."""
         return [r for r in self.live if not r.draining]
 
+    def _advance(self, replica: ReplicaSim, target: float,
+                 horizon: float) -> None:
+        """Advance hook — the fault-injected fleet overrides this."""
+        replica.advance_to(target, horizon)
+
+    def _fault_trace(self, wall: float) -> FaultTrace | None:
+        """Fault-log hook — ``None`` on fault-free runs."""
+        return None
+
     # ------------------------------------------------------------------ #
     # One decision instant                                                 #
     # ------------------------------------------------------------------ #
@@ -453,7 +834,7 @@ class _DynamicFleet:
                policy: AutoscalerPolicy) -> None:
         spec = self.spec
         for replica in self.live:
-            replica.advance_to(now, horizon)
+            self._advance(replica, now, horizon)
         interval_ttfts = self._collect_interval_ttfts()
         self._retire_drained()
         routable = self.routable(now)
@@ -603,7 +984,7 @@ class _DynamicFleet:
 
     def finalize(self, horizon: float) -> ClusterResult:
         for replica in self.live:
-            replica.advance_to(float("inf"), horizon)
+            self._advance(replica, float("inf"), horizon)
         self._retire_drained()
         # the fleet wall clock: a never-ready replica never worked, so
         # its zero-valued clock cannot set it
@@ -628,7 +1009,8 @@ class _DynamicFleet:
             warm_launches=self.warm_launches,
             cold_launches=self.cold_launches,
         )
-        return aggregate_cluster(results, autoscale=trace)
+        return aggregate_cluster(results, autoscale=trace,
+                                 faults=self._fault_trace(wall))
 
     @staticmethod
     def _ever_ready(replica: ReplicaSim, wall: float) -> bool:
@@ -640,3 +1022,62 @@ class _DynamicFleet:
         end = replica.retired_at if replica.retired_at is not None \
             else wall
         return replica.ready_at <= end
+
+
+class _FaultyDynamicFleet(_DynamicFleet):
+    """A dynamic fleet whose replicas can crash, straggle and stall.
+
+    A crashed replica retires on the spot — dead hardware is not a warm
+    machine, so the warm pool is *not* refilled — and the next decision
+    sees the loss as ``launched < desired``, replacing it through the
+    normal provisioning/warm-pool path.  Fault plans are armed lazily at
+    a replica's first advance, once its launch time is known, so a
+    replica's schedule is independent of fleet dynamics.
+    """
+
+    def __init__(self, new_replica, spec: AutoscaleSpec, initial: int,
+                 coordinator: _FaultCoordinator) -> None:
+        self.coordinator = coordinator
+        super().__init__(new_replica, spec, initial)
+
+    def _advance(self, replica: ReplicaSim, target: float,
+                 horizon: float) -> None:
+        if replica.fault_plan is None:
+            replica.fault_plan = self.coordinator.injector.plan_for(
+                replica.replica_id, replica.launched_at)
+        replica.advance_faulty(target, horizon)
+
+    def decide(self, now: float, horizon: float,
+               policy: AutoscalerPolicy) -> None:
+        # fire due crashes before the policy looks: lost capacity must
+        # be visible as launched < desired at this very decision
+        for replica in list(self.live):
+            self._advance(replica, now, horizon)
+        self.fire_crashes(now)
+        super().decide(now, horizon, policy)
+
+    def fire_crashes(self, global_now: float) -> bool:
+        return self.coordinator.fire(self.live, global_now,
+                                     on_crash=self._crash_retire)
+
+    def _crash_retire(self, replica: ReplicaSim, when: float) -> None:
+        replica.retired_at = when
+        self._retired_busy += replica.busy
+        self.live.remove(replica)
+
+    def next_capacity_at(self, now: float, next_decision: float,
+                         horizon: float) -> float | None:
+        """When routable capacity can next appear: the earliest
+        still-provisioning replica, or the next decision instant (which
+        can launch replacements).  ``None`` when neither exists within
+        the horizon — the fleet can never serve the request."""
+        candidates = [r.ready_at for r in self.live
+                      if not r.draining and r.ready_at > now]
+        if next_decision <= horizon:
+            candidates.append(next_decision)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _fault_trace(self, wall: float) -> FaultTrace:
+        return self.coordinator.injector.trace(wall)

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.cluster.faults import FaultTrace
 from repro.serving.engine import SimulationResult
 from repro.serving.prefix_cache import PrefixCacheStats
 from repro.serving.qos import QoSReport, compute_qos
@@ -179,13 +180,16 @@ class ClusterResult:
     """Outcome of one cluster simulation.
 
     ``autoscale`` is ``None`` for fixed fleets; autoscaled runs carry
-    the full scaling history.
+    the full scaling history.  ``faults`` is ``None`` for fault-free
+    runs; fault-injected runs carry the event log, retry counters and
+    the failed (abandoned) requests.
     """
 
     replica_results: tuple[SimulationResult, ...]
     merged: SimulationResult
     load: LoadImbalanceStats
     autoscale: AutoscaleTrace | None = None
+    faults: FaultTrace | None = None
 
     @property
     def replica_count(self) -> int:
@@ -193,12 +197,16 @@ class ClusterResult:
 
     def qos(self) -> QoSReport:
         """Fleet QoS over every finished request, against the fleet wall
-        time — the cluster analogue of the single-endpoint report."""
-        return compute_qos(self.merged.finished, self.merged.total_time_s)
+        time — the cluster analogue of the single-endpoint report.
+        Fault-injected runs also carry the failed-request count."""
+        failed = len(self.faults.failed) if self.faults is not None else 0
+        return compute_qos(self.merged.finished, self.merged.total_time_s,
+                           failed_requests=failed)
 
 
 def aggregate_cluster(replica_results: Sequence[SimulationResult],
-                      autoscale: AutoscaleTrace | None = None
+                      autoscale: AutoscaleTrace | None = None,
+                      faults: FaultTrace | None = None
                       ) -> ClusterResult:
     """Bundle per-replica results with their merged view and load stats."""
     return ClusterResult(
@@ -206,4 +214,5 @@ def aggregate_cluster(replica_results: Sequence[SimulationResult],
         merged=merge_results(replica_results),
         load=load_imbalance(replica_results),
         autoscale=autoscale,
+        faults=faults,
     )

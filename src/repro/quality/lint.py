@@ -60,7 +60,7 @@ def _comments(source: str) -> dict[int, str]:
         for token in tokens:
             if token.type == tokenize.COMMENT:
                 comments[token.start[0]] = token.string
-    except tokenize.TokenError:   # unterminated constructs; ast caught it
+    except tokenize.TokenError:   # repro: allow[R6] unterminated construct; ast already reported it as a parse violation
         pass
     return comments
 

@@ -34,6 +34,10 @@ The rules:
   return a ``.replica_id``; routers return *positions in the snapshot
   sequence* (the PR 5 bug class: ids survive a scale-down
   non-contiguously, positions do not).
+* **R6 exception-hygiene** — no bare ``except:`` and no
+  ``except ...: pass`` swallowing in ``src/repro``; a fault-injection
+  engine that silently eats errors can fake the very resilience it is
+  supposed to measure.
 """
 
 from __future__ import annotations
@@ -550,6 +554,55 @@ class RouterContractRule(Rule):
         return any(isinstance(child, ast.Attribute)
                    and child.attr == "replica_id"
                    for child in ast.walk(node))
+
+
+# --------------------------------------------------------------------- #
+# R6: exception hygiene                                                  #
+# --------------------------------------------------------------------- #
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    """R6: no bare ``except:``, no ``except ...: pass`` swallowing.
+
+    A bare handler catches ``KeyboardInterrupt``/``SystemExit`` and
+    every programming error alike; a handler whose whole body is
+    ``pass`` makes failures invisible.  Both are poison in a codebase
+    whose fault-injection results are only credible if every injected
+    failure is observed, retried, or recorded — never eaten.  Narrow,
+    intentional swallows take a ``# repro: allow[R6]`` pragma with the
+    justification on the handler line.
+    """
+
+    id = "R6"
+    name = "exception-hygiene"
+    rationale = ("a bare except hides KeyboardInterrupt and programmer "
+                 "errors; an except-pass makes failures invisible — "
+                 "fault-injection results are only credible when every "
+                 "failure is observed, retried, or recorded")
+
+    def visit_Try(self, node: ast.Try) -> None:
+        self._check_handlers(node.handlers)
+        self.generic_visit(node)
+
+    def visit_TryStar(self, node: ast.TryStar) -> None:
+        self._check_handlers(node.handlers)
+        self.generic_visit(node)
+
+    def _check_handlers(self,
+                        handlers: list[ast.ExceptHandler]) -> None:
+        for handler in handlers:
+            if handler.type is None:
+                self.report(handler,
+                            "bare except: catches KeyboardInterrupt and "
+                            "every bug alike — name the exception types "
+                            "this handler is for")
+            elif len(handler.body) == 1 \
+                    and isinstance(handler.body[0], ast.Pass):
+                self.report(handler,
+                            "except-pass swallows the failure — handle "
+                            "it, re-raise, or record it; a deliberate "
+                            "swallow takes a # repro: allow[R6] pragma "
+                            "with its justification")
 
 
 RuleFactory = Callable[[str, ast.Module, Sequence[str]], Rule]

@@ -32,6 +32,7 @@ class QoSReport:
     e2e_p95_s: float
     tokens_per_s: float
     requests_per_s: float
+    failed_requests: int = 0    # terminal failures (fault injection)
 
     @property
     def mean_tokens_per_s_per_request(self) -> float:
@@ -58,7 +59,25 @@ class QoSReport:
         return value <= slo_s
 
 
-def compute_qos(finished: list[Request], wall_time_s: float) -> QoSReport:
+def goodput_per_s(finished: list[Request], wall_time_s: float,
+                  slo_ttft_s: float) -> float:
+    """SLO-met completions per second: the throughput that *counts*.
+
+    Raw ``requests_per_s`` treats a request that crawled out after three
+    crash retries the same as one served instantly; goodput counts only
+    completions whose TTFT met the SLO, which is what a degraded fleet
+    is actually delivering to users.
+    """
+    if wall_time_s <= 0:
+        raise ValueError("wall time must be positive")
+    if slo_ttft_s <= 0:
+        raise ValueError("slo_ttft_s must be positive")
+    met = sum(1 for r in finished if r.ttft <= slo_ttft_s)
+    return met / wall_time_s
+
+
+def compute_qos(finished: list[Request], wall_time_s: float,
+                failed_requests: int = 0) -> QoSReport:
     """Aggregate per-request metrics over ``wall_time_s`` of simulation."""
     if not finished:
         raise ValueError("no finished requests to report on")
@@ -87,4 +106,5 @@ def compute_qos(finished: list[Request], wall_time_s: float) -> QoSReport:
         e2e_p95_s=float(np.percentile(e2e, 95)),
         tokens_per_s=tokens / wall_time_s,
         requests_per_s=len(finished) / wall_time_s,
+        failed_requests=failed_requests,
     )

@@ -16,6 +16,7 @@ class RequestState(enum.Enum):
     PREFILLING = "prefill"   # admitted, prompt being chunk-prefilled
     DECODING = "decode"      # generating tokens
     FINISHED = "finished"
+    FAILED = "failed"        # abandoned: retry budget or deadline spent
 
 
 @dataclass(eq=False)
@@ -62,6 +63,8 @@ class Request:
     turn_index: int = 0
     history_tokens: int = 0
     cached_prefix_tokens: int = 0
+    retries: int = 0
+    failed_time: float | None = None
 
     def __post_init__(self) -> None:
         if self.input_tokens < 1 or self.output_tokens < 1:
@@ -112,6 +115,42 @@ class Request:
         if self.finish_time is None:
             raise ValueError(f"request {self.request_id} is not finished")
         return self.finish_time - self.arrival_time
+
+    def reset_for_retry(self) -> None:
+        """Crash recovery: every generated token is lost and the request
+        re-enters a queue from scratch.
+
+        The original ``arrival_time`` is kept on purpose — TTFT and E2E
+        measure what the *user* experienced, and a crash mid-generation
+        is part of that experience, not a fresh arrival.
+        """
+        self.retries += 1
+        self.state = RequestState.QUEUED
+        self.prefilled_tokens = 0
+        self.generated_tokens = 0
+        self.first_token_time = None
+        self.last_token_time = None
+        self.finish_time = None
+        self.cached_prefix_tokens = 0
+        if self.token_times:
+            self.token_times.clear()
+
+    def mark_failed(self, now: float) -> None:
+        """Terminal failure: retry budget or deadline exhausted.
+
+        A failed request keeps its arrival stamp and loses everything
+        else; ``failed_time`` records when the system gave up on it.
+        """
+        self.state = RequestState.FAILED
+        self.failed_time = now
+        self.prefilled_tokens = 0
+        self.generated_tokens = 0
+        self.first_token_time = None
+        self.last_token_time = None
+        self.finish_time = None
+        self.cached_prefix_tokens = 0
+        if self.token_times:
+            self.token_times.clear()
 
     def record_token(self, now: float) -> None:
         """Stamp one generated token at simulation time ``now``."""

@@ -163,3 +163,73 @@ class TestAutoscaleCli:
         assert main(["run", str(path), "--autoscale", "queue-depth",
                      "--no-autoscale"]) == 2
         assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestFaultsCli:
+    def test_serve_faults_reports_goodput(self, capsys):
+        code = main(["serve", "--rate", "20", "--requests", "40",
+                     "--replicas", "2", "--faults", "--fault-seed", "3",
+                     "--fault-crash-mtbf-s", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "crashes" in out
+
+    def test_fault_knob_without_faults_fails_loudly(self, capsys):
+        assert main(["serve", "--fault-crash-mtbf-s", "30"]) == 2
+        err = capsys.readouterr().err
+        assert "--fault-crash-mtbf-s" in err and "--faults" in err
+
+    def test_run_faults_override_and_strip(self, capsys, tmp_path):
+        experiment = {
+            "deployment": {"chip": "ador", "max_batch": 64,
+                           "replicas": 2,
+                           "faults": {"seed": 3, "crash_mtbf_s": 30.0,
+                                      "enabled": False}},
+            "workload": {"trace": "ultrachat", "rate_per_s": 20.0,
+                         "num_requests": 40, "seed": 7},
+        }
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(experiment))
+        # the committed spec carries faults disabled: fault-free run
+        assert main(["run", str(path)]) == 0
+        assert "goodput" not in capsys.readouterr().out
+        # flip injection on, keeping the experiment's fault knobs
+        assert main(["run", str(path), "--faults"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out and "crashes" in out
+        # strip the section entirely
+        assert main(["run", str(path), "--no-faults"]) == 0
+        assert "goodput" not in capsys.readouterr().out
+        # conflicting flags fail loudly instead of silently picking one
+        assert main(["run", str(path), "--faults", "--no-faults"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_kv_exhaustion_is_one_line_error(self, capsys,
+                                                   monkeypatch):
+        def boom(*args, **kwargs):
+            raise MemoryError("KV block pool cannot hold a single "
+                              "request's context; grow kv_budget_bytes")
+        monkeypatch.setattr("repro.cli.simulate", boom)
+        assert main(["serve", "--kv-budget-gb", "0.01"]) == 2
+        err = capsys.readouterr().err
+        assert "kv_budget_bytes" in err
+        assert "Traceback" not in err
+
+    def test_run_kv_exhaustion_is_one_line_error(self, capsys,
+                                                 monkeypatch, tmp_path):
+        experiment = {
+            "deployment": {"chip": "ador"},
+            "workload": {"trace": "ultrachat", "rate_per_s": 5.0,
+                         "num_requests": 10, "seed": 7},
+        }
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(experiment))
+
+        def boom(*args, **kwargs):
+            raise MemoryError("KV block pool cannot hold a single "
+                              "request's context; grow kv_budget_bytes")
+        monkeypatch.setattr("repro.cli.run_experiment", boom)
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "kv_budget_bytes" in err

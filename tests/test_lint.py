@@ -305,6 +305,65 @@ class TestRouterContractRule:
 
 
 # --------------------------------------------------------------------- #
+# R6: exception hygiene                                                  #
+# --------------------------------------------------------------------- #
+
+class TestExceptionHygieneRule:
+    def test_bare_except_flagged_with_line(self):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except:\n"
+                  "    recover()\n")
+        violations = lint_source(source, SIM_PATH)
+        assert rules_of(violations) == ["R6"]
+        assert violations[0].line == 3
+        assert "bare except" in violations[0].message
+
+    def test_except_pass_swallow_flagged(self):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except ValueError:\n"
+                  "    pass\n")
+        violations = lint_source(source, SIM_PATH)
+        assert rules_of(violations) == ["R6"]
+        assert "swallow" in violations[0].message
+
+    def test_except_star_pass_swallow_flagged(self):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except* ValueError:\n"
+                  "    pass\n")
+        assert rules_of(lint_source(source, SIM_PATH)) == ["R6"]
+
+    def test_handled_except_passes(self):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except ValueError as exc:\n"
+                  "    log(exc)\n"
+                  "    fallback()\n")
+        assert lint_source(source, SIM_PATH) == []
+
+    def test_only_offending_handler_flagged(self):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except KeyError:\n"
+                  "    recover()\n"
+                  "except ValueError:\n"
+                  "    pass\n")
+        violations = lint_source(source, SIM_PATH)
+        assert rules_of(violations) == ["R6"]
+        assert violations[0].line == 5
+
+    def test_pragma_suppresses_deliberate_swallow(self):
+        source = ("try:\n"
+                  "    risky()\n"
+                  "except ValueError:"
+                  "  # repro: allow[R6] best-effort probe, absence is fine\n"
+                  "    pass\n")
+        assert lint_source(source, SIM_PATH) == []
+
+
+# --------------------------------------------------------------------- #
 # R0: pragma hygiene                                                     #
 # --------------------------------------------------------------------- #
 
