@@ -51,6 +51,14 @@ from repro.api.specs import (
     chip_to_dict,
 )
 from repro.core.scheduling import device_model_for
+# after specs/facade above: perf.scale imports repro.api.specs, which is
+# already initialized by this point, so the import order is cycle-free
+from repro.perf.scale import (
+    ProgressReporter,
+    ShardPool,
+    StreamStats,
+    run_sharded_cluster,
+)
 from repro.hardware.registry import get_chip, list_chips, register_chip
 from repro.models.zoo import get_model, list_models
 from repro.serving.policies import get_policy, list_policies, register_policy
@@ -107,4 +115,8 @@ __all__ = [
     "get_model",
     "list_models",
     "device_model_for",
+    "run_sharded_cluster",
+    "ShardPool",
+    "StreamStats",
+    "ProgressReporter",
 ]

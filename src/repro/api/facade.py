@@ -125,7 +125,9 @@ class ServingReport:
 def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
              max_sim_seconds: float = 600.0, *,
              sim_cache: bool = True,
-             context_bucket: int = 1) -> "ServingReport | ClusterReport":
+             context_bucket: int = 1,
+             shards: int = 1,
+             progress=None) -> "ServingReport | ClusterReport":
     """Run one serving experiment end-to-end and report QoS + utilization.
 
     Dispatches to :func:`simulate_cluster` when the deployment asks for
@@ -141,6 +143,15 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
     loop (``sim_cache=False``); larger buckets quantize the decode
     context for higher hit rates at a small, measured latency error
     (see ``benchmarks/bench_sim_speed.py``).
+
+    With ``workload.streaming`` (the default) and continuous batching,
+    arrivals are generated lazily and consumed through a bounded
+    look-ahead window — bit-identical to the materialized list, at
+    constant memory.  ``shards`` (cluster runs only) partitions the
+    fleet over worker processes (see
+    :func:`repro.perf.scale.run_sharded_cluster`); ``progress`` is a
+    ``progress(sim_time, done_count)`` heartbeat callback (see
+    :class:`repro.perf.scale.ProgressReporter`).
     """
     if deployment.replicas > 1 or deployment.autoscale is not None \
             or (deployment.faults is not None
@@ -150,12 +161,22 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
         return simulate_cluster(deployment, workload,
                                 max_sim_seconds=max_sim_seconds,
                                 sim_cache=sim_cache,
-                                context_bucket=context_bucket)
+                                context_bucket=context_bucket,
+                                shards=shards,
+                                progress=progress)
+    if shards != 1:
+        raise ValueError(
+            "shards apply to multi-replica cluster deployments only")
     chip = deployment.chip_spec()
     model = get_model(deployment.model)
     device = _device_for(chip, sim_cache, context_bucket)
-    requests = workload.build_requests()
     runner = get_policy(deployment.batching)
+    if workload.streaming and deployment.batching == "continuous":
+        # only the continuous engine consumes a lazy stream; the batch
+        # policies slice and sort, so they keep the materialized list
+        requests = workload.request_stream()
+    else:
+        requests = workload.build_requests()
     extra = {}
     if deployment.prefix_cache is not None \
             and deployment.prefix_cache.enabled:
@@ -163,6 +184,11 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
         # disabled specs, which mean the cold path) see the unchanged
         # call signature
         extra["prefix_cache"] = deployment.prefix_cache
+    if progress is not None:
+        if deployment.batching != "continuous":
+            raise ValueError(
+                "the progress heartbeat requires continuous batching")
+        extra["progress"] = progress
     result = runner(device, model, requests, deployment.scheduler_limits(),
                     num_devices=deployment.num_devices,
                     max_sim_seconds=max_sim_seconds,
@@ -435,7 +461,9 @@ class ClusterReport:
 def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
                      max_sim_seconds: float = 600.0, *,
                      sim_cache: bool = True,
-                     context_bucket: int = 1) -> ClusterReport:
+                     context_bucket: int = 1,
+                     shards: int = 1,
+                     progress=None) -> ClusterReport:
     """Run one cluster experiment: N replicas behind the spec'd router.
 
     The cluster engine is iteration-faithful only for continuous
@@ -444,6 +472,12 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
     approximated.  ``sim_cache`` / ``context_bucket`` behave as in
     :func:`simulate`; the memoized device model is shared by every
     replica, so one replica's decode evaluations warm the whole fleet.
+
+    ``shards > 1`` partitions the fleet and its traffic over worker
+    processes via :func:`repro.perf.scale.run_sharded_cluster` — a
+    modeled approximation (per-shard routing), rejected loudly for
+    autoscaled or fault-injected deployments.  ``shards=1`` (default)
+    takes the exact engine path.
     """
     if deployment.batching != "continuous":
         raise ValueError(
@@ -451,8 +485,32 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
             f"got {deployment.batching!r}")
     chip = deployment.chip_spec()
     model = get_model(deployment.model)
+    if shards != 1:
+        from repro.perf.scale import run_sharded_cluster
+
+        if progress is not None:
+            raise ValueError(
+                "the progress heartbeat is per-process; run sharded "
+                "simulations without it (shards report on completion)")
+        cluster = run_sharded_cluster(
+            deployment, workload, max_sim_seconds, shards,
+            sim_cache=sim_cache, context_bucket=context_bucket)
+        if not cluster.merged.finished:
+            raise EndpointOverloaded(
+                f"no requests finished within {max_sim_seconds:g} s — "
+                f"{deployment.replicas}x {chip.name} cannot sustain "
+                f"{workload.rate_per_s:g} req/s")
+        return ClusterReport(
+            deployment=deployment,
+            workload=workload,
+            chip=chip,
+            model=get_model(deployment.model),
+            cluster=cluster,
+            qos=cluster.qos(),
+        )
     device = _device_for(chip, sim_cache, context_bucket)
-    requests = workload.build_requests()
+    requests = workload.request_stream() if workload.streaming \
+        else workload.build_requests()
     engine = ClusterEngine(
         device, model, deployment.scheduler_limits(),
         num_devices=deployment.num_devices,
@@ -463,7 +521,8 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
         prefix_cache=deployment.prefix_cache,
         faults=deployment.faults,
     )
-    cluster = engine.run(requests, max_sim_seconds=max_sim_seconds)
+    cluster = engine.run(requests, max_sim_seconds=max_sim_seconds,
+                         progress=progress)
     if not cluster.merged.finished:
         raise EndpointOverloaded(
             f"no requests finished within {max_sim_seconds:g} s — "
@@ -501,17 +560,25 @@ def save_experiment(experiment: Experiment,
 
 def run_experiment(source: Experiment | str | pathlib.Path, *,
                    sim_cache: bool = True,
-                   context_bucket: int = 1
+                   context_bucket: int = 1,
+                   shards: int = 1,
+                   progress=None
                    ) -> "ServingReport | ClusterReport | CapacityReport":
     """Execute an :class:`Experiment` (or a path to one) end-to-end.
 
     An experiment with a ``capacity`` section runs the SLO-capacity
     search and returns a :class:`CapacityReport`; otherwise the fixed-
-    rate simulation runs as before.
+    rate simulation runs as before.  ``shards`` / ``progress`` forward
+    to :func:`simulate` (fixed-rate runs only — the capacity search
+    manages its own probe parallelism).
     """
     experiment = source if isinstance(source, Experiment) \
         else load_experiment(source)
     if experiment.capacity is not None:
+        if shards != 1:
+            raise ValueError(
+                "shards apply to fixed-rate cluster runs; the capacity "
+                "search parallelizes over probes instead (workers=N)")
         return find_capacity(experiment.deployment, experiment.workload,
                              experiment.capacity,
                              max_sim_seconds=experiment.max_sim_seconds,
@@ -519,4 +586,5 @@ def run_experiment(source: Experiment | str | pathlib.Path, *,
                              context_bucket=context_bucket)
     return simulate(experiment.deployment, experiment.workload,
                     max_sim_seconds=experiment.max_sim_seconds,
-                    sim_cache=sim_cache, context_bucket=context_bucket)
+                    sim_cache=sim_cache, context_bucket=context_bucket,
+                    shards=shards, progress=progress)

@@ -16,7 +16,10 @@ embedded as a full custom :class:`~repro.hardware.chip.ChipSpec`, which
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing
+    from repro.serving.stream import RequestStream
 
 from repro.cluster.autoscaler import AutoscaleSpec
 from repro.cluster.faults import FaultSpec
@@ -177,6 +180,14 @@ class WorkloadSpec:
       emitted requests carry ``session_id`` / ``turn_index`` /
       ``history_tokens``, the load shape prefix caching and
       session-affinity routing are about.
+
+    ``streaming`` (default on) lets the facade feed the engines a lazy
+    :meth:`iter_requests` stream instead of a materialized
+    :meth:`build_requests` list.  The two are **bit-identical** — the
+    streaming generators replay the exact draw sequence of the
+    materializing ones — so the knob only changes peak memory, never a
+    result; set it to ``False`` (CLI ``--no-stream``) to force the
+    classic list path.
     """
 
     trace: str | ChatTraceConfig = "ultrachat"
@@ -185,6 +196,7 @@ class WorkloadSpec:
     num_requests: int = 200
     seed: int = 7
     session: SessionConfig | None = None
+    streaming: bool = True
 
     _ARRIVALS = ("poisson", "sessions")
 
@@ -227,6 +239,34 @@ class WorkloadSpec:
                                             self.rate_per_s, rng)
         return generator.generate(self.num_requests)
 
+    def iter_requests(self) -> Iterator[Request]:
+        """Lazily generate the identical request stream.
+
+        Yields the same requests — same ids, arrival floats and token
+        lengths, bit for bit — as :meth:`build_requests`, at constant
+        memory: the streaming replay generators fast-forward per-role
+        RNGs instead of materializing whole draw arrays (see
+        :mod:`repro.serving.generator`).
+        """
+        if self.arrival == "sessions":
+            from repro.serving.sessions import iter_session_requests
+
+            return iter_session_requests(
+                self.session if self.session is not None
+                else SessionConfig(),
+                self.num_requests, self.rate_per_s, self.seed)
+        from repro.serving.generator import iter_poisson_requests
+
+        return iter_poisson_requests(self.trace_config(), self.rate_per_s,
+                                     self.seed, self.num_requests)
+
+    def request_stream(self) -> RequestStream:
+        """:meth:`iter_requests` wrapped in the engines' bounded-window
+        :class:`~repro.serving.stream.RequestStream` view."""
+        from repro.serving.stream import as_stream
+
+        return as_stream(self.iter_requests())
+
     def to_dict(self) -> dict[str, Any]:
         trace = self.trace if isinstance(self.trace, str) \
             else asdict(self.trace)
@@ -238,11 +278,12 @@ class WorkloadSpec:
             "seed": self.seed,
             "session": asdict(self.session)
             if self.session is not None else None,
+            "streaming": self.streaming,
         }
 
     _FIELDS = frozenset(
         ("trace", "arrival", "rate_per_s", "num_requests", "seed",
-         "session"))
+         "session", "streaming"))
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "WorkloadSpec":
@@ -266,6 +307,7 @@ class WorkloadSpec:
             num_requests=data.get("num_requests", 200),
             seed=data.get("seed", 7),
             session=session,
+            streaming=data.get("streaming", True),
         )
 
 

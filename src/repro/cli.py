@@ -226,6 +226,20 @@ def _faults_spec(args: argparse.Namespace) -> FaultSpec | None:
     return FaultSpec(**overrides)
 
 
+def _progress_reporter(args: argparse.Namespace, label: str):
+    """The ``--progress`` heartbeat, or ``None`` when the flag is off.
+
+    Lives behind a lazy import: the reporter owns the CLI's only
+    wall-clock read outside benchmarking, and constructing it only on
+    demand keeps plain runs byte-identical in behavior and output.
+    """
+    if args.progress is None:
+        return None
+    from repro.perf.scale import ProgressReporter
+
+    return ProgressReporter(interval_s=args.progress, label=label)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         deployment = DeploymentSpec(
@@ -251,11 +265,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_requests=args.requests,
         seed=args.seed,
         arrival=args.arrival,
+        streaming=not args.no_stream,
     )
     try:
         report = simulate(deployment, workload,
                           sim_cache=not args.no_sim_cache,
-                          context_bucket=args.context_bucket)
+                          context_bucket=args.context_bucket,
+                          shards=args.shards,
+                          progress=_progress_reporter(args, "serve"))
     except EndpointOverloaded as exc:
         print(f"no requests finished — {exc}")
         return 1
@@ -362,9 +379,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 experiment,
                 deployment=dataclasses.replace(experiment.deployment,
                                                **overrides))
+        if args.no_stream:
+            experiment = dataclasses.replace(
+                experiment,
+                workload=dataclasses.replace(experiment.workload,
+                                             streaming=False))
         report = run_experiment(experiment,
                                 sim_cache=not args.no_sim_cache,
-                                context_bucket=args.context_bucket)
+                                context_bucket=args.context_bucket,
+                                shards=args.shards,
+                                progress=_progress_reporter(args, "run"))
     except EndpointOverloaded as exc:
         print(f"no requests finished — {exc}")
         return 1
@@ -567,6 +591,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "sim cache; 1 (default) is exact, larger "
                             "buckets trade a small latency error for "
                             "faster sweeps")
+    serve.add_argument("--no-stream", action="store_true",
+                       help="materialize the full request list up front "
+                            "instead of streaming arrivals lazily "
+                            "(bit-identical results; streaming keeps "
+                            "peak memory constant in request count)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="partition a fixed multi-replica fleet over "
+                            "N worker processes (modeled per-shard "
+                            "routing; 1 = the exact engine, default)")
+    serve.add_argument("--progress", nargs="?", const=5.0, type=float,
+                       default=None, metavar="SECS",
+                       help="stderr heartbeat (simulated time + "
+                            "requests done) every SECS wall-clock "
+                            "seconds (default 5 when given bare)")
 
     capacity = sub.add_parser(
         "capacity",
@@ -642,6 +680,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--context-bucket", type=int, default=1,
                      help="decode-context quantization bucket for the sim "
                           "cache; 1 (default) is exact")
+    run.add_argument("--no-stream", action="store_true",
+                     help="materialize the request list up front instead "
+                          "of streaming arrivals (bit-identical results)")
+    run.add_argument("--shards", type=int, default=1,
+                     help="partition a fixed multi-replica fleet over N "
+                          "worker processes (modeled per-shard routing; "
+                          "1 = the exact engine, default)")
+    run.add_argument("--progress", nargs="?", const=5.0, type=float,
+                     default=None, metavar="SECS",
+                     help="stderr heartbeat (simulated time + requests "
+                          "done) every SECS wall-clock seconds "
+                          "(default 5 when given bare)")
 
     lint = sub.add_parser(
         "lint",

@@ -65,6 +65,7 @@ from repro.serving.engine import (
 from repro.serving.prefix_cache import PrefixCacheStats
 from repro.serving.request import Request
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerLimits
+from repro.serving.stream import RequestStream, as_stream
 
 
 class ReplicaSim:
@@ -185,8 +186,15 @@ class ReplicaSim:
         """
         if not self.has_work:
             return
-        self._snapshot = None
         limit = min(target, horizon)
+        if not self.now < limit:
+            # the clock already reached the limit: zero iterations can
+            # run, so the replica state — and therefore the snapshot the
+            # router would rebuild — is unchanged.  Keeping the cached
+            # snapshot removes most per-arrival bookkeeping on busy
+            # fleets where arrivals outpace the iteration clock.
+            return
+        self._snapshot = None
         scheduler = self.scheduler
         pending = self.pending
         engine = self.engine
@@ -389,9 +397,23 @@ class ReplicaSim:
         )
 
 
-def _sorted_by_arrival(requests: list[Request]) -> list[Request]:
-    """The arrival stream in time order, without copying when already
-    sorted — repeat runs over one stream skip the re-sort entirely."""
+def _sorted_by_arrival(requests):
+    """The arrival stream in time order.
+
+    Lists and tuples keep the pre-streaming behavior: scanned once and
+    returned as-is when already sorted (repeat runs over one stream skip
+    the re-sort), sorted into a copy otherwise.  A
+    :class:`~repro.serving.stream.RequestStream` — or any other lazy
+    iterable, which gets wrapped into one — must *not* be materialized
+    or re-sorted here: the stream checks monotonicity online as each
+    request is pulled and raises
+    :class:`~repro.serving.stream.OutOfOrderArrival` naming the
+    offending timestamp the moment a producer emits out of order.
+    """
+    if isinstance(requests, RequestStream):
+        return requests
+    if not isinstance(requests, (list, tuple)):
+        return as_stream(requests)
     previous = None
     for request in requests:
         if previous is not None and request.arrival_time < previous:
@@ -486,9 +508,18 @@ class ClusterEngine:
                 f"snapshot lists {len(snapshots)} replicas")
         return routable[position]
 
-    def run(self, requests: list[Request],
-            max_sim_seconds: float = 600.0) -> ClusterResult:
-        """Route the arrival stream, drain every replica, aggregate."""
+    def run(self, requests, max_sim_seconds: float = 600.0, *,
+            progress=None) -> ClusterResult:
+        """Route the arrival stream, drain every replica, aggregate.
+
+        ``requests`` is a list (the classic path) or a lazy iterable /
+        :class:`~repro.serving.stream.RequestStream`, consumed one
+        arrival at a time — bit-identical results either way (the
+        fault paths buffer arrivals in their event heap regardless).
+        ``progress`` is called as ``progress(sim_time, done_count)``
+        once per routed arrival; wall-clock throttling lives in the
+        caller, keeping the engine deterministic.
+        """
         router = make_router(self.router)
         faults = self.faults \
             if self.faults is not None and self.faults.enabled else None
@@ -496,29 +527,33 @@ class ClusterEngine:
             # the fault-free paths are byte-identical to the pre-fault
             # engine: a disabled spec enters zero new code
             if self.autoscale is None:
-                return self._run_static(requests, max_sim_seconds, router)
-            return self._run_autoscaled(requests, max_sim_seconds, router)
+                return self._run_static(requests, max_sim_seconds, router,
+                                        progress)
+            return self._run_autoscaled(requests, max_sim_seconds, router,
+                                        progress)
         if self.autoscale is None:
             return self._run_static_faulty(requests, max_sim_seconds,
-                                           router, faults)
+                                           router, faults, progress)
         return self._run_autoscaled_faulty(requests, max_sim_seconds,
-                                           router, faults)
+                                           router, faults, progress)
 
-    def _run_static(self, requests: list[Request], max_sim_seconds: float,
-                    router: RouterPolicy) -> ClusterResult:
+    def _run_static(self, requests, max_sim_seconds: float,
+                    router: RouterPolicy, progress=None) -> ClusterResult:
         fleet = [self._new_replica(i) for i in range(self.replicas)]
         for request in _sorted_by_arrival(requests):
             arrival = request.arrival_time
             for replica in fleet:
                 replica.advance_to(arrival, max_sim_seconds)
             self._route(router, request, fleet).submit(request)
+            if progress is not None:
+                progress(arrival, sum(len(r.finished) for r in fleet))
         for replica in fleet:
             replica.advance_to(float("inf"), max_sim_seconds)
         return aggregate_cluster([r.result() for r in fleet])
 
-    def _run_autoscaled(self, requests: list[Request],
-                        max_sim_seconds: float,
-                        router: RouterPolicy) -> ClusterResult:
+    def _run_autoscaled(self, requests, max_sim_seconds: float,
+                        router: RouterPolicy,
+                        progress=None) -> ClusterResult:
         spec = self.autoscale
         policy = self.autoscaler if self.autoscaler is not None \
             else make_autoscaler(spec.policy)
@@ -542,6 +577,9 @@ class ClusterEngine:
                     "no routable replica in the autoscaled fleet")
             self._route(router, request, routable).submit(request)
             fleet.note_arrival()
+            if progress is not None:
+                progress(arrival,
+                         sum(len(r.finished) for r in fleet.live))
         # keep the control loop ticking until the fleet drains, so
         # post-traffic scale-downs (and their replica-second savings)
         # are part of the simulated history
@@ -554,9 +592,9 @@ class ClusterEngine:
     # Fault-enabled run paths (never entered with faults disabled)         #
     # ------------------------------------------------------------------ #
 
-    def _run_static_faulty(self, requests: list[Request],
-                           max_sim_seconds: float, router: RouterPolicy,
-                           spec: FaultSpec) -> ClusterResult:
+    def _run_static_faulty(self, requests, max_sim_seconds: float,
+                           router: RouterPolicy, spec: FaultSpec,
+                           progress=None) -> ClusterResult:
         """Fixed fleet under fault injection: event-driven routing.
 
         The arrival stream seeds a time-ordered event heap; crashes push
@@ -599,6 +637,8 @@ class ClusterEngine:
                     coordinator.push(wake, request)
                     continue
                 self._route(router, request, routable).submit(request)
+                if progress is not None:
+                    progress(now, sum(len(r.finished) for r in fleet))
             for replica in fleet:
                 replica.advance_faulty(float("inf"), max_sim_seconds)
             if not coordinator.fire(fleet, last):
@@ -607,10 +647,9 @@ class ClusterEngine:
         wall = max(result.total_time_s for result in results)
         return aggregate_cluster(results, faults=injector.trace(wall))
 
-    def _run_autoscaled_faulty(self, requests: list[Request],
-                               max_sim_seconds: float,
-                               router: RouterPolicy,
-                               spec: FaultSpec) -> ClusterResult:
+    def _run_autoscaled_faulty(self, requests, max_sim_seconds: float,
+                               router: RouterPolicy, spec: FaultSpec,
+                               progress=None) -> ClusterResult:
         """Elastic fleet under fault injection.
 
         Crashed replicas retire immediately (dead hardware is not a warm
@@ -660,6 +699,9 @@ class ClusterEngine:
                     continue
                 self._route(router, request, routable).submit(request)
                 fleet.note_arrival()
+                if progress is not None:
+                    progress(now,
+                             sum(len(r.finished) for r in fleet.live))
             if fleet.has_work() and next_decision <= max_sim_seconds:
                 # keep the control loop ticking while draining, exactly
                 # like the fault-free path — crashes during the tail are

@@ -50,7 +50,7 @@ from repro.registry import Registry
 from repro.serving.request import Request
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaSnapshot:
     """One replica's load as the router sees it at an arrival instant."""
 

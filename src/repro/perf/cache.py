@@ -85,6 +85,9 @@ class CachedDeviceModel(DeviceModel):
         self._models: dict[int, ModelConfig] = {}
         self._decode: dict[int, dict] = {}
         self._prefill: dict[int, dict] = {}
+        # raw-context -> step-seconds maps, keyed (model id, batch,
+        # devices).  See decode_seconds_map.
+        self._decode_seconds: dict[tuple[int, int, int], dict[int, float]] = {}
 
     def __getattr__(self, name: str):
         # only called when normal lookup fails: delegate e.g.
@@ -129,6 +132,28 @@ class CachedDeviceModel(DeviceModel):
         entries[key] = value
         return value
 
+    def decode_seconds_map(self, model: ModelConfig, batch: int,
+                           num_devices: int = 1) -> dict[int, float]:
+        """Mutable ``{raw context -> decode-step seconds}`` map for one
+        ``(model, batch, num_devices)`` operating point.
+
+        The decode fast-forward loop runs one dict probe per simulated
+        step; going through :meth:`decode_step_time` would re-bucket the
+        context and rebuild the key tuple every step only to fetch the
+        same ``seconds`` float.  Callers fill misses *through*
+        :meth:`decode_step_time` (so breakdown entries and miss counters
+        stay exact) and bulk-account the map hits on ``stats``
+        afterwards.  Keys are raw contexts: with ``context_bucket > 1``
+        several raw contexts alias one bucketed evaluation, which is the
+        same value the bucketed lookup would return.
+        """
+        key = (id(model), batch, num_devices)
+        seconds = self._decode_seconds.get(key)
+        if seconds is None:
+            seconds = self._decode_seconds[key] = {}
+            self._models[id(model)] = model
+        return seconds
+
     def prefill_time(self, model: ModelConfig, batch: int, seq_len: int,
                      num_devices: int = 1) -> BaselineBreakdown:
         # prefill chunks are already quantized by the scheduler's chunk
@@ -159,4 +184,5 @@ class CachedDeviceModel(DeviceModel):
         self._models.clear()
         self._decode.clear()
         self._prefill.clear()
+        self._decode_seconds.clear()
         self.stats = CacheStats()

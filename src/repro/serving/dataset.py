@@ -75,6 +75,29 @@ def fixed_trace(input_len: int, output_len: int) -> ChatTraceConfig:
     )
 
 
+def sample_inputs(config: ChatTraceConfig, count: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` clipped input lengths (one normal draw each).
+
+    Split out of :func:`sample_trace` so the streaming replay
+    generators can consume the input and output halves of the draw
+    stream independently — each half performs the identical numpy
+    operations, so chunked replay stays bit-for-bit equal to one
+    full-size :func:`sample_trace` call.
+    """
+    values = rng.lognormal(math.log(config.input_median),
+                           max(config.input_sigma, 1e-12), size=count)
+    return np.clip(np.round(values), config.min_input, config.max_input)
+
+
+def sample_outputs(config: ChatTraceConfig, count: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` clipped output lengths (one normal draw each)."""
+    values = rng.lognormal(math.log(config.output_median),
+                           max(config.output_sigma, 1e-12), size=count)
+    return np.clip(np.round(values), config.min_output, config.max_output)
+
+
 def sample_trace(config: ChatTraceConfig, count: int,
                  rng: np.random.Generator) -> list[tuple[int, int]]:
     """Draw ``count`` (input_len, output_len) pairs."""
@@ -82,10 +105,6 @@ def sample_trace(config: ChatTraceConfig, count: int,
         raise ValueError("count must be non-negative")
     if count == 0:
         return []
-    inputs = rng.lognormal(math.log(config.input_median),
-                           max(config.input_sigma, 1e-12), size=count)
-    outputs = rng.lognormal(math.log(config.output_median),
-                            max(config.output_sigma, 1e-12), size=count)
-    inputs = np.clip(np.round(inputs), config.min_input, config.max_input)
-    outputs = np.clip(np.round(outputs), config.min_output, config.max_output)
+    inputs = sample_inputs(config, count, rng)
+    outputs = sample_outputs(config, count, rng)
     return [(int(i), int(o)) for i, o in zip(inputs, outputs)]

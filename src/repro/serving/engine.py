@@ -39,7 +39,8 @@ from repro.serving.prefix_cache import (
     PrefixCacheSpec,
     PrefixCacheStats,
 )
-from repro.serving.request import Request
+from repro.serving.request import Request, RequestState
+from repro.serving.stream import RequestStream, as_stream
 from repro.serving.scheduler import (
     ContinuousBatchingScheduler,
     IterationPlan,
@@ -193,16 +194,22 @@ class SimulationResult:
     saturated: Saturated | None = None
     #: non-None when the endpoint ran with a prefix cache enabled
     prefix_cache: PrefixCacheStats | None = None
+    #: completed requests handed to a ``sink`` instead of being retained
+    #: (constant-memory streaming runs); zero on the default path
+    sunk_finished: int = 0
+    sunk_tokens: int = 0
 
     @property
     def completed_requests_per_s(self) -> float:
         if self.total_time_s <= 0:
             return 0.0
-        return len(self.finished) / self.total_time_s
+        return (len(self.finished) + self.sunk_finished) / self.total_time_s
 
     @property
     def generated_tokens(self) -> int:
-        return sum(r.generated_tokens for r in self.finished + self.unfinished)
+        return sum(r.generated_tokens
+                   for r in self.finished + self.unfinished) \
+            + self.sunk_tokens
 
     @property
     def tokens_per_s(self) -> float:
@@ -240,34 +247,109 @@ def run_decode_burst(scheduler, plan, pending, device, model, num_devices,
     next_arrival = pending[0].arrival_time if pending else None
     times: list[float] = []
     steps = 0
-    while steps < until_finish and now < limit:
-        mean_context = max(1, int(ctx_sum / size))
-        step = device.decode_step_time(
-            model, size, mean_context, num_devices).seconds
-        now += step
-        busy += step
-        decode_time += step
-        times.append(now)
-        ctx_sum += size
-        steps += 1
-        if next_arrival is not None and next_arrival <= now:
-            break
-    burst_finished: list[Request] = []
-    if steps == until_finish:
-        for request in batch:
-            request.record_token_burst(times)
-            if request.done:
-                finished.append(request)
-                burst_finished.append(request)
-                if on_finish is not None:
-                    on_finish(request)
+    seconds_map = getattr(device, "decode_seconds_map", None)
+    if seconds_map is not None:
+        # raw-context -> seconds map: one dict probe per step instead of
+        # a decode_step_time call (re-bucketing + key tuple + breakdown
+        # fetch).  Misses are filled *through* decode_step_time so the
+        # breakdown cache and its miss counter stay exact; the probe
+        # hits are bulk-accounted below — each one stands in for a call
+        # that would have hit the breakdown cache.
+        seconds = seconds_map(model, size, num_devices)
+        fills = 0
+        while steps < until_finish and now < limit:
+            mean_context = max(1, int(ctx_sum / size))
+            step = seconds.get(mean_context)
+            if step is None:
+                step = seconds[mean_context] = device.decode_step_time(
+                    model, size, mean_context, num_devices).seconds
+                fills += 1
+            now += step
+            busy += step
+            decode_time += step
+            times.append(now)
+            ctx_sum += size
+            steps += 1
+            if next_arrival is not None and next_arrival <= now:
+                break
+        if steps > fills:
+            device.stats.decode_hits += steps - fills
     else:
-        # interrupted by an arrival or the limit before the earliest
-        # completion: nobody can have finished
-        for request in batch:
-            request.record_token_burst(times)
+        while steps < until_finish and now < limit:
+            mean_context = max(1, int(ctx_sum / size))
+            step = device.decode_step_time(
+                model, size, mean_context, num_devices).seconds
+            now += step
+            busy += step
+            decode_time += step
+            times.append(now)
+            ctx_sum += size
+            steps += 1
+            if next_arrival is not None and next_arrival <= now:
+                break
+    # stamp the whole burst inline (record_token_burst unrolled with the
+    # shared first/last hoisted): the batch loop runs once per request
+    # per *burst*, not per step, but at million-request scale its call
+    # overhead still dominated the profile
+    burst_finished: list[Request] = []
+    if steps:
+        first = times[0]
+        last = times[-1]
+        if steps == until_finish:
+            for request in batch:
+                request.generated_tokens += steps
+                if request.record_token_times:
+                    request.token_times.extend(times)
+                if request.first_token_time is None:
+                    request.first_token_time = first
+                request.last_token_time = last
+                if request.generated_tokens >= request.output_tokens:
+                    request.finish_time = last
+                    request.state = RequestState.FINISHED
+                    finished.append(request)
+                    burst_finished.append(request)
+                    if on_finish is not None:
+                        on_finish(request)
+        else:
+            # interrupted by an arrival or the limit before the earliest
+            # completion: steps < every member's remaining tokens, so
+            # nobody can have finished
+            for request in batch:
+                request.generated_tokens += steps
+                if request.record_token_times:
+                    request.token_times.extend(times)
+                if request.first_token_time is None:
+                    request.first_token_time = first
+                request.last_token_time = last
     scheduler.complete_burst(plan, steps, burst_finished)
     return now, steps, busy, decode_time
+
+
+class _FinishedSink:
+    """List-shim that hands completed requests to a sink callable.
+
+    Streaming runs that retain every finished :class:`Request` grow
+    memory linearly no matter how lazily arrivals are generated; a
+    ``sink`` keeps only aggregates.  The shim exposes the two list
+    operations the engine performs on ``finished`` — ``append`` and
+    ``len`` — and forwards each completion to the sink, counting
+    requests and tokens so :class:`SimulationResult` stays exact.
+    """
+
+    __slots__ = ("_sink", "count", "tokens")
+
+    def __init__(self, sink) -> None:
+        self._sink = sink
+        self.count = 0
+        self.tokens = 0
+
+    def append(self, request: Request) -> None:
+        self.count += 1
+        self.tokens += request.generated_tokens
+        self._sink(request)
+
+    def __len__(self) -> int:
+        return self.count
 
 
 class ServingEngine:
@@ -335,23 +417,48 @@ class ServingEngine:
     # Main loop                                                            #
     # ------------------------------------------------------------------ #
 
-    def run(self, requests: list[Request],
+    def run(self, requests,
             max_sim_seconds: float = 600.0,
-            monitor: InstabilityMonitor | None = None) -> SimulationResult:
+            monitor: InstabilityMonitor | None = None, *,
+            sink=None, progress=None) -> SimulationResult:
         """Simulate until all requests finish or the horizon expires.
+
+        ``requests`` is a list (sorted here, the classic path) or a lazy
+        iterable/:class:`~repro.serving.stream.RequestStream` consumed
+        one arrival at a time at constant memory — both produce
+        bit-identical results for the same request sequence.
 
         An optional :class:`InstabilityMonitor` observes the admission
         backlog and the finished set each loop pass; when it fires, the
         run stops early and the result carries a :class:`Saturated`
         verdict.  A run the monitor never fires on is bit-identical to
         one without a monitor.
+
+        ``sink`` (streaming runs) receives each completed request
+        instead of it being retained on the result — aggregates stay
+        exact via ``sunk_finished``/``sunk_tokens``.  A sink cannot be
+        combined with a monitor, which needs the retained finished list.
+        ``progress`` is called as ``progress(sim_time, done_count)``
+        once per outer loop pass; wall-clock throttling lives in the
+        caller (see ``repro.perf.scale.ProgressReporter``) so the engine
+        itself stays deterministic.
         """
-        pending = deque(sorted(requests, key=lambda r: r.arrival_time))
+        if isinstance(requests, RequestStream):
+            pending = requests
+        elif isinstance(requests, (list, tuple)):
+            pending = deque(sorted(requests, key=lambda r: r.arrival_time))
+        else:
+            pending = as_stream(requests)
+        if sink is not None and monitor is not None:
+            raise ValueError(
+                "a finished-request sink cannot be combined with an "
+                "InstabilityMonitor: the monitor inspects the retained "
+                "finished list the sink exists to avoid")
         cache = self.build_prefix_cache()
         scheduler = ContinuousBatchingScheduler(self.model, self.limits,
                                                 prefix_cache=cache)
         now = 0.0
-        finished: list[Request] = []
+        finished = _FinishedSink(sink) if sink is not None else []
         iterations = 0
         decode_steps = 0
         busy = 0.0
@@ -365,6 +472,8 @@ class ServingEngine:
         while now < max_sim_seconds:
             while pending and pending[0].arrival_time <= now:
                 scheduler.enqueue(pending.popleft())
+            if progress is not None:
+                progress(now, len(finished))
             # backlog = arrived requests still waiting for a first token
             # (admission may be generous, so saturation can pile up in
             # the prefill queue rather than the admission queue)
@@ -413,6 +522,12 @@ class ServingEngine:
 
         unfinished = scheduler.prefilling + scheduler.decoding \
             + list(scheduler.queued) + list(pending)
+        if progress is not None:
+            progress(now, len(finished))
+        sunk_finished = sunk_tokens = 0
+        if isinstance(finished, _FinishedSink):
+            sunk_finished, sunk_tokens = finished.count, finished.tokens
+            finished = []
         return SimulationResult(
             finished=finished,
             unfinished=unfinished,
@@ -424,4 +539,6 @@ class ServingEngine:
             prefill_time_s=prefill_time,
             saturated=saturated,
             prefix_cache=cache.stats if cache is not None else None,
+            sunk_finished=sunk_finished,
+            sunk_tokens=sunk_tokens,
         )

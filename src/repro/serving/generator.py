@@ -6,14 +6,67 @@ alternating on/off phases — the bursty traffic that separates adaptive
 routers from round-robin in the cluster benchmarks.  Token lengths come
 from a :class:`~repro.serving.dataset.ChatTraceConfig`.  All randomness
 flows through one injected ``numpy.random.Generator``.
+
+The ``iter_*`` functions are the **streaming replay** twins of the
+materializing generators: they yield the identical request sequence —
+same ids, same arrival floats, same lengths, bit for bit — at constant
+memory.  The materialized path draws whole arrays in a fixed order
+(e.g. all gaps, then all input lengths, then all output lengths) from
+one seeded generator, so a naive chunked loop would interleave the
+draws and land on different stream positions.  The replay instead runs
+one ``default_rng(seed)`` instance *per draw role*, fast-forwards each
+past the roles drawn before it (chunk-wise, nothing retained), and then
+pulls chunks from every role in lockstep.  numpy's ``Generator``
+distributions consume the underlying bit stream one value at a time,
+so splitting a ``size=n`` draw into chunks reproduces the exact same
+values — the property the parity suite pins down.
 """
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
-from repro.serving.dataset import ChatTraceConfig, sample_trace
+from repro.serving.dataset import (
+    ChatTraceConfig,
+    sample_inputs,
+    sample_outputs,
+    sample_trace,
+)
 from repro.serving.request import Request
+
+#: draws per chunk in the streaming replay generators — bounds peak
+#: memory at a few array pages regardless of the workload size
+STREAM_CHUNK = 4096
+
+
+def _chunk_sizes(count: int, chunk: int) -> Iterator[int]:
+    """Split ``count`` draws into chunk-sized runs (last one ragged)."""
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    while count > 0:
+        step = chunk if count > chunk else count
+        yield step
+        count -= step
+
+
+def _skip_exponential(rng: np.random.Generator, count: int,
+                      chunk: int) -> None:
+    """Fast-forward past ``count`` exponential draws (constant memory).
+
+    The scale parameter only multiplies the standard draw, so any scale
+    consumes the identical stream positions.
+    """
+    for step in _chunk_sizes(count, chunk):
+        rng.standard_exponential(size=step)
+
+
+def _skip_lengths(rng: np.random.Generator, count: int,
+                  chunk: int) -> None:
+    """Fast-forward past one lognormal length array (one normal each)."""
+    for step in _chunk_sizes(count, chunk):
+        rng.standard_normal(size=step)
 
 
 def _requests_from(arrivals, lengths) -> list[Request]:
@@ -134,3 +187,90 @@ class OnOffRequestGenerator:
             now += float(self.rng.exponential(1.0 / rate))
             arrivals.append(now)
         return _requests_from(arrivals, lengths)
+
+
+# --------------------------------------------------------------------- #
+# Streaming replay generators                                            #
+# --------------------------------------------------------------------- #
+
+def iter_poisson_requests(trace: ChatTraceConfig, rate_per_s: float,
+                          seed: int, count: int, start_time: float = 0.0,
+                          chunk: int = STREAM_CHUNK) -> Iterator[Request]:
+    """Stream the exact request sequence of
+    ``PoissonRequestGenerator(trace, rate, default_rng(seed)).generate(count)``.
+
+    Three replay generators cover the materialized draw order (all
+    gaps, then all inputs, then all outputs): the gap stream starts at
+    position zero, the input stream skips the gaps, the output stream
+    skips gaps and inputs.  Arrival times accumulate in a running
+    float64 sum — ``np.cumsum`` is the same strictly sequential
+    addition chain, so every arrival float matches bit for bit.
+    """
+    if rate_per_s <= 0:
+        raise ValueError("arrival rate must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    gap_rng = np.random.default_rng(seed)
+    in_rng = np.random.default_rng(seed)
+    out_rng = np.random.default_rng(seed)
+    _skip_exponential(in_rng, count, chunk)
+    _skip_exponential(out_rng, count, chunk)
+    _skip_lengths(out_rng, count, chunk)
+    scale = 1.0 / rate_per_s
+    total = 0.0
+    request_id = 0
+    for step in _chunk_sizes(count, chunk):
+        gaps = gap_rng.exponential(scale, size=step)
+        inputs = sample_inputs(trace, step, in_rng)
+        outputs = sample_outputs(trace, step, out_rng)
+        for i in range(step):
+            total += float(gaps[i])
+            yield Request(
+                request_id=request_id,
+                arrival_time=float(start_time + total),
+                input_tokens=int(inputs[i]),
+                output_tokens=int(outputs[i]),
+            )
+            request_id += 1
+
+
+def iter_onoff_requests(trace: ChatTraceConfig, on_rate_per_s: float,
+                        off_rate_per_s: float, phase_seconds: float,
+                        seed: int, count: int, start_time: float = 0.0,
+                        chunk: int = STREAM_CHUNK) -> Iterator[Request]:
+    """Stream the exact request sequence of
+    ``OnOffRequestGenerator(trace, on, off, phase, default_rng(seed))
+    .generate(count)``.
+
+    The materialized draw order is lengths first (inputs, then
+    outputs), then one scalar exponential per arrival; the replay skips
+    accordingly and walks the same phase-modulated clock.
+    """
+    if on_rate_per_s <= 0 or off_rate_per_s <= 0:
+        raise ValueError("arrival rates must be positive")
+    if phase_seconds <= 0:
+        raise ValueError("phase length must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    in_rng = np.random.default_rng(seed)
+    out_rng = np.random.default_rng(seed)
+    gap_rng = np.random.default_rng(seed)
+    _skip_lengths(out_rng, count, chunk)
+    _skip_lengths(gap_rng, count, chunk)
+    _skip_lengths(gap_rng, count, chunk)
+    now = start_time
+    request_id = 0
+    for step in _chunk_sizes(count, chunk):
+        inputs = sample_inputs(trace, step, in_rng)
+        outputs = sample_outputs(trace, step, out_rng)
+        for i in range(step):
+            phase = int(now / phase_seconds) % 2
+            rate = on_rate_per_s if phase == 0 else off_rate_per_s
+            now += float(gap_rng.exponential(1.0 / rate))
+            yield Request(
+                request_id=request_id,
+                arrival_time=float(now),
+                input_tokens=int(inputs[i]),
+                output_tokens=int(outputs[i]),
+            )
+            request_id += 1

@@ -199,16 +199,26 @@ def run_static(device: DeviceModel, model: ModelConfig, requests: list,
 
 
 @register_policy("continuous")
-def run_continuous(device: DeviceModel, model: ModelConfig, requests: list,
+def run_continuous(device: DeviceModel, model: ModelConfig, requests,
                    limits: SchedulerLimits, num_devices: int = 1,
                    max_sim_seconds: float = 3600.0,
                    fast_forward: bool = True,
-                   prefix_cache=None) -> SimulationResult:
-    """Iteration-level continuous batching (the paper's default)."""
+                   prefix_cache=None, sink=None,
+                   progress=None) -> SimulationResult:
+    """Iteration-level continuous batching (the paper's default).
+
+    The only policy that accepts a lazy request stream: the engine
+    consumes arrivals through a bounded look-ahead window, so
+    ``requests`` may be a list or an iterator/``RequestStream``.  The
+    batch-mode policies below slice and sort their inputs and stay
+    list-only.  ``sink`` / ``progress`` forward to
+    :meth:`ServingEngine.run`.
+    """
     engine = ServingEngine(device, model, limits, num_devices,
                            fast_forward=fast_forward,
                            prefix_cache=prefix_cache)
-    return engine.run(requests, max_sim_seconds=max_sim_seconds)
+    return engine.run(requests, max_sim_seconds=max_sim_seconds,
+                      sink=sink, progress=progress)
 
 
 def simulate_policy(

@@ -19,7 +19,7 @@ class RequestState(enum.Enum):
     FAILED = "failed"        # abandoned: retry budget or deadline spent
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Request:
     """One user request flowing through the simulator.
 

@@ -43,7 +43,7 @@ class SchedulerLimits:
             raise ValueError("limits must be >= 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class IterationPlan:
     """What one engine iteration will execute.
 

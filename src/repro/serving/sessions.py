@@ -14,7 +14,9 @@ statistics DESIGN.md documents.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -121,3 +123,74 @@ class MultiTurnSessionGenerator:
 
     def expected_requests_per_session(self) -> float:
         return self.config.mean_turns
+
+
+def iter_session_requests(config: SessionConfig, sessions: int,
+                          session_rate_per_s: float, seed: int,
+                          chunk: int = 4096) -> Iterator[Request]:
+    """Stream the exact request sequence of
+    ``MultiTurnSessionGenerator(config, default_rng(seed))
+    .generate_stream(sessions, session_rate_per_s)``.
+
+    The materialized path draws all session-start gaps up front, then
+    each session's body draws in session order, and finally performs a
+    *stable* sort by arrival time.  The replay splits the stream into a
+    start-gap generator and a body generator (fast-forwarded past the
+    gap draws) and merges turns through a heap keyed on
+    ``(arrival_time, session_id, turn_index)`` — the stable-sort order,
+    since sessions are generated in id order and turns in index order.
+    Before generating session *s* (starting at time ``start``), every
+    buffered turn with ``arrival_time <= start`` is emitted: all turns
+    of later sessions arrive at or after ``start`` (session starts are
+    non-decreasing and think times are non-negative), so nothing that
+    should sort earlier can still appear.  The heap holds only the
+    turns of sessions whose tails overlap the current start time — the
+    bounded look-ahead window.
+    """
+    if sessions < 0:
+        raise ValueError("sessions must be non-negative")
+    if session_rate_per_s <= 0:
+        raise ValueError("session rate must be positive")
+    from repro.serving.generator import _chunk_sizes, _skip_exponential
+
+    start_rng = np.random.default_rng(seed)
+    body_rng = np.random.default_rng(seed)
+    _skip_exponential(body_rng, sessions, chunk)
+    generator = MultiTurnSessionGenerator(config, body_rng)
+
+    # (arrival, session_id, turn_index) reproduces the stable sort; the
+    # SessionTurn payload is never compared because (sid, turn) is unique
+    heap: list[tuple[float, int, int, SessionTurn]] = []
+    request_id = 0
+    session_id = 0
+    total = 0.0
+
+    def _emit(turn: SessionTurn) -> Request:
+        nonlocal request_id
+        request = Request(
+            request_id=request_id,
+            arrival_time=turn.arrival_time,
+            input_tokens=turn.input_tokens,
+            output_tokens=turn.output_tokens,
+            session_id=turn.session_id,
+            turn_index=turn.turn_index,
+            history_tokens=turn.history_tokens,
+        )
+        request_id += 1
+        return request
+
+    for step in _chunk_sizes(sessions, chunk):
+        gaps = start_rng.exponential(1.0 / session_rate_per_s, size=step)
+        for i in range(step):
+            total += float(gaps[i])
+            start = float(total)
+            while heap and heap[0][0] <= start:
+                yield _emit(heapq.heappop(heap)[3])
+            for turn in generator.generate_session(session_id, start):
+                heapq.heappush(
+                    heap,
+                    (turn.arrival_time, turn.session_id,
+                     turn.turn_index, turn))
+            session_id += 1
+    while heap:
+        yield _emit(heapq.heappop(heap)[3])

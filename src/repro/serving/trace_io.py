@@ -14,8 +14,13 @@ import pathlib
 from repro.serving.request import Request
 
 
-def save_requests(requests: list, path) -> None:
-    """Write a request stream (inputs only) as JSON."""
+def save_requests(requests, path) -> None:
+    """Write a request stream (inputs only) as JSON.
+
+    Accepts any iterable — a materialized list or a lazy stream such as
+    ``WorkloadSpec.iter_requests()`` — and consumes it once; the JSON
+    payload is the only thing materialized here.
+    """
     payload = []
     for r in requests:
         entry = {
