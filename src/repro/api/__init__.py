@@ -20,14 +20,23 @@ Sweeps become data, not scripts: serialize an :class:`Experiment` to
 JSON (``save_experiment``) and replay it anywhere with
 ``repro run experiment.json`` or :func:`run_experiment` — same seed,
 identical report.
+
+Fleets need not be homogeneous: a :class:`DeploymentSpec` carrying an
+explicit :class:`FleetSpec` of weighted :class:`ReplicaGroupSpec`
+groups mixes chips in one cluster (``router="hetero-aware"`` routes by
+probed capability), and :func:`find_fleet_capacity` searches the
+cheapest group mix meeting an SLO at a fixed demand.
 """
 
 from repro.api.facade import (
     CapacityReport,
     ClusterReport,
     EndpointOverloaded,
+    FleetCapacityReport,
     ServingReport,
+    build_cluster_engine,
     find_capacity,
+    find_fleet_capacity,
     load_experiment,
     run_experiment,
     save_experiment,
@@ -46,10 +55,13 @@ from repro.api.specs import (
     CapacitySpec,
     DeploymentSpec,
     Experiment,
+    FleetSpec,
+    ReplicaGroupSpec,
     WorkloadSpec,
     chip_from_dict,
     chip_to_dict,
 )
+from repro.cluster.report import GroupBreakdown
 from repro.core.scheduling import device_model_for
 # after specs/facade above: perf.scale imports repro.api.specs, which is
 # already initialized by this point, so the import order is cycle-free
@@ -76,13 +88,19 @@ __all__ = [
     "WorkloadSpec",
     "Experiment",
     "CapacitySpec",
+    "FleetSpec",
+    "ReplicaGroupSpec",
     "ServingReport",
     "ClusterReport",
     "CapacityReport",
+    "FleetCapacityReport",
+    "GroupBreakdown",
     "EndpointOverloaded",
     "simulate",
     "simulate_cluster",
+    "build_cluster_engine",
     "find_capacity",
+    "find_fleet_capacity",
     "get_router",
     "list_routers",
     "register_router",

@@ -35,7 +35,7 @@ from repro.hardware.chip import ChipSpec
 from repro.models.config import ModelConfig
 from repro.models.zoo import get_model
 from repro.perf.cache import CachedDeviceModel
-from repro.serving.capacity import CapacityResult
+from repro.serving.capacity import CapacityResult, FleetCapacityResult
 from repro.serving.engine import SimulationResult
 from repro.serving.policies import get_policy
 from repro.serving.qos import QoSReport, compute_qos, goodput_per_s
@@ -79,6 +79,57 @@ def _device_for(chip: ChipSpec, sim_cache: bool,
         return device_model_for(chip)
     return CachedDeviceModel(device_model_for(chip),
                              context_bucket=context_bucket)
+
+
+def build_cluster_engine(deployment: DeploymentSpec, *,
+                         sim_cache: bool = True,
+                         context_bucket: int = 1) -> ClusterEngine:
+    """The :class:`ClusterEngine` a deployment spec describes.
+
+    The one place deployment specs turn into engine fleets: the legacy
+    ``replicas=N`` form takes the exact single-spec construction it
+    always had, and an explicit ``fleet`` resolves each
+    :class:`~repro.api.specs.ReplicaGroupSpec` to its own device model
+    / model config / scheduler limits and builds the engine from
+    groups.  Shared by :func:`simulate_cluster`, the sharded runner and
+    the mixed-fleet capacity search, so every path sizes a fleet the
+    same way.
+    """
+    if deployment.fleet is None:
+        device = _device_for(deployment.chip_spec(), sim_cache,
+                             context_bucket)
+        return ClusterEngine(
+            device, get_model(deployment.model),
+            deployment.scheduler_limits(),
+            num_devices=deployment.num_devices,
+            replicas=deployment.replicas,
+            router=deployment.router,
+            fast_forward=sim_cache,
+            autoscale=deployment.autoscale,
+            prefix_cache=deployment.prefix_cache,
+            faults=deployment.faults,
+        )
+    from repro.cluster.engine import EngineGroup
+
+    groups = []
+    for index, group in enumerate(deployment.fleet.groups):
+        chip = group.chip_spec()
+        groups.append(EngineGroup(
+            index, group.label, chip.name,
+            _device_for(chip, sim_cache, context_bucket),
+            get_model(group.model), group.scheduler_limits(),
+            num_devices=group.num_devices, count=group.count,
+            cost_per_replica_s=group.cost_per_replica_s,
+            min_count=group.min_count, max_count=group.max_count,
+            provision_latency_s=group.provision_latency_s))
+    return ClusterEngine.from_groups(
+        groups,
+        router=deployment.router,
+        fast_forward=sim_cache,
+        autoscale=deployment.autoscale,
+        prefix_cache=deployment.prefix_cache,
+        faults=deployment.faults,
+    )
 
 
 @dataclass(frozen=True)
@@ -153,11 +204,13 @@ def simulate(deployment: DeploymentSpec, workload: WorkloadSpec,
     ``progress(sim_time, done_count)`` heartbeat callback (see
     :class:`repro.perf.scale.ProgressReporter`).
     """
-    if deployment.replicas > 1 or deployment.autoscale is not None \
+    if deployment.replicas > 1 or deployment.fleet is not None \
+            or deployment.autoscale is not None \
             or (deployment.faults is not None
                 and deployment.faults.enabled):
         # fault injection lives in the cluster engine — a single faulty
-        # endpoint is a fleet of one
+        # endpoint is a fleet of one; an explicit fleet always is a
+        # cluster, even a fleet of one group of one
         return simulate_cluster(deployment, workload,
                                 max_sim_seconds=max_sim_seconds,
                                 sim_cache=sim_cache,
@@ -286,9 +339,25 @@ def find_capacity(deployment: DeploymentSpec, workload: WorkloadSpec,
     ``pool`` accepts a persistent
     :class:`repro.serving.capacity.CapacityProbePool` so the searches
     of a sweep share warm worker caches.
+
+    A deployment with an explicit ``fleet`` dispatches to
+    :func:`find_fleet_capacity` instead: the workload's ``rate_per_s``
+    is then the *fixed* demand and the search finds the cheapest group
+    mix sustaining it (``pool`` is rejected — fleet probes are full
+    cluster simulations).
     """
     from repro.serving.capacity import max_capacity_under_slo
 
+    if deployment.fleet is not None:
+        if pool is not None:
+            raise ValueError(
+                "the probe pool parallelizes single-endpoint rate "
+                "probes; the mixed-fleet search runs full cluster "
+                "simulations and does not take one")
+        return find_fleet_capacity(
+            deployment, workload, capacity,
+            max_sim_seconds=max_sim_seconds, sim_cache=sim_cache,
+            context_bucket=context_bucket, **overrides)
     if deployment.replicas > 1 or deployment.autoscale is not None:
         raise ValueError(
             "capacity search simulates a single endpoint; "
@@ -355,6 +424,103 @@ def find_capacity(deployment: DeploymentSpec, workload: WorkloadSpec,
     )
 
 
+@dataclass(frozen=True)
+class FleetCapacityReport:
+    """Unified outcome of one mixed-fleet capacity search.
+
+    The fleet analogue of :class:`CapacityReport` with the axes
+    swapped: the arrival rate is fixed (``workload.rate_per_s``) and
+    the search variable is the fleet itself — the report names the
+    cheapest per-group replica mix that sustains the rate under the
+    SLO, and the QoS measured at that mix.
+    """
+
+    deployment: DeploymentSpec
+    workload: WorkloadSpec
+    capacity_spec: CapacitySpec
+    fleet: FleetCapacityResult
+
+    @property
+    def counts(self) -> tuple:
+        return self.fleet.counts
+
+    @property
+    def qos(self) -> QoSReport:
+        return self.fleet.qos_at_best
+
+    @property
+    def cost(self) -> float:
+        return self.fleet.cost
+
+    def mix_label(self) -> str:
+        """``"2xador+1xa100"``-style label of the winning mix."""
+        return "+".join(
+            f"{count}x{group.label}"
+            for count, group in zip(self.fleet.counts,
+                                    self.deployment.fleet.groups))
+
+    def summary_lines(self) -> list[str]:
+        spec = self.capacity_spec
+        qos = self.qos
+        slo = f"TBT {spec.percentile} <= {spec.slo_tbt_s * 1e3:g} ms"
+        if spec.slo_ttft_s is not None:
+            slo += f", TTFT <= {spec.slo_ttft_s * 1e3:g} ms"
+        return [
+            f"cost-optimal fleet for {self.workload.rate_per_s:g} "
+            f"req/s ({slo}, {self.workload.num_requests} "
+            f"requests/probe):",
+            f"  cheapest mix    : {self.mix_label()} "
+            f"(cost rate {self.fleet.cost_rate:g}/s)",
+            f"  replica-seconds : {self.fleet.replica_seconds:.1f} "
+            f"(cost {self.fleet.cost:.1f})",
+            f"  TTFT p95 at mix : {qos.ttft_p95_s * 1e3:.1f} ms",
+            f"  TBT  p95 at mix : {qos.tbt_p95_s * 1e3:.2f} ms",
+            f"  throughput      : {qos.tokens_per_s:,.0f} tokens/s",
+            f"  probes          : {len(self.fleet.probes)} "
+            f"({self.fleet.simulations} simulations)",
+        ]
+
+    def summary(self) -> str:
+        return "\n".join(self.summary_lines())
+
+
+def find_fleet_capacity(deployment: DeploymentSpec,
+                        workload: WorkloadSpec,
+                        capacity: CapacitySpec | None = None,
+                        max_sim_seconds: float = 600.0, *,
+                        sim_cache: bool = True,
+                        context_bucket: int = 1,
+                        **overrides) -> FleetCapacityReport:
+    """Find the cheapest group mix of a fleet meeting the SLO.
+
+    The deployment must carry an explicit :class:`FleetSpec`; each
+    group's candidate count ranges over ``[min_count or 0, max_count
+    or count]`` and the search
+    (:func:`repro.serving.capacity.cost_optimal_fleet`) bisects the
+    leading group's count within every combination of the others,
+    ranking feasible mixes by ``sum(count * cost_per_replica_s)``.
+    Unlike :func:`find_capacity`, the workload's ``rate_per_s`` is
+    honored — it is the demand the mix must sustain.
+    """
+    from repro.serving.capacity import cost_optimal_fleet
+
+    if overrides:
+        base = capacity if capacity is not None else CapacitySpec()
+        capacity = dataclasses.replace(base, **overrides)
+    elif capacity is None:
+        capacity = CapacitySpec()
+    result = cost_optimal_fleet(
+        deployment, workload, capacity,
+        max_sim_seconds=max_sim_seconds,
+        sim_cache=sim_cache, context_bucket=context_bucket)
+    return FleetCapacityReport(
+        deployment=deployment,
+        workload=workload,
+        capacity_spec=capacity,
+        fleet=result,
+    )
+
+
 # --------------------------------------------------------------------- #
 # Cluster experiments                                                    #
 # --------------------------------------------------------------------- #
@@ -397,19 +563,33 @@ class ClusterReport:
         (``None`` when fault injection was off)."""
         return self.cluster.faults
 
+    @property
+    def groups(self):
+        """Per-group :class:`~repro.cluster.report.GroupBreakdown`
+        tuple (``None`` on homogeneous fleets)."""
+        return self.cluster.groups
+
     def summary_lines(self) -> list[str]:
         qos, load = self.qos, self.load
         requests = ", ".join(str(n) for n in load.requests_per_replica)
         busy = ", ".join(f"{b:.2f}"
                          for b in load.busy_fraction_per_replica)
         trace = self.autoscale
-        fleet = f"{self.deployment.replicas}x" if trace is None else \
-            f"autoscaled (start {self.deployment.replicas}, " \
-            f"peak {trace.peak_replicas})"
+        if self.deployment.fleet is not None:
+            mix = "+".join(f"{g.count}x{g.label}"
+                           for g in self.deployment.fleet.groups)
+            fleet = mix if trace is None else \
+                f"autoscaled (start {mix}, peak {trace.peak_replicas})"
+            endpoint = "fleet"
+        else:
+            fleet = f"{self.deployment.replicas}x" if trace is None else \
+                f"autoscaled (start {self.deployment.replicas}, " \
+                f"peak {trace.peak_replicas})"
+            endpoint = self.chip.name
         lines = [
             f"simulated {len(self.result.finished)} requests at "
             f"{self.workload.rate_per_s:g} req/s on "
-            f"{fleet} {self.chip.name} "
+            f"{fleet} {endpoint} "
             f"({self.deployment.num_devices} device(s)/replica, "
             f"{self.deployment.router} routing):",
             f"  TTFT mean/p95 : {qos.ttft_mean_s * 1e3:.1f} / "
@@ -422,6 +602,19 @@ class ClusterReport:
             f"(imbalance {load.request_imbalance:.2f})",
             f"  busy fraction/replica : {busy}",
         ]
+        if self.cluster.groups is not None:
+            for group in self.cluster.groups:
+                if group.qos is None:
+                    tail = "no finished requests"
+                else:
+                    tail = (f"TTFT p95 {group.qos.ttft_p95_s * 1e3:.1f} "
+                            f"ms, {group.qos.tokens_per_s:,.0f} tokens/s")
+                lines.append(
+                    f"  group {group.group} [{group.name}] : "
+                    f"{group.replica_count} replica(s), "
+                    f"{group.finished_requests} finished, "
+                    f"{group.replica_seconds:.1f} replica-s "
+                    f"(cost {group.cost:.1f}); {tail}")
         lines += _prefix_cache_lines(self.result.prefix_cache)
         if trace is not None:
             spec = self.deployment.autoscale
@@ -483,8 +676,14 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
         raise ValueError(
             f"cluster serving requires continuous batching, "
             f"got {deployment.batching!r}")
-    chip = deployment.chip_spec()
-    model = get_model(deployment.model)
+    chip = deployment.chip_spec() if deployment.fleet is None \
+        else deployment.fleet.groups[0].chip_spec()
+    model = get_model(deployment.model if deployment.fleet is None
+                      else deployment.fleet.groups[0].model)
+    fleet_label = f"{deployment.replicas}x {chip.name}" \
+        if deployment.fleet is None else \
+        "+".join(f"{g.count}x{g.label}"
+                 for g in deployment.fleet.groups)
     if shards != 1:
         from repro.perf.scale import run_sharded_cluster
 
@@ -498,35 +697,26 @@ def simulate_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
         if not cluster.merged.finished:
             raise EndpointOverloaded(
                 f"no requests finished within {max_sim_seconds:g} s — "
-                f"{deployment.replicas}x {chip.name} cannot sustain "
+                f"{fleet_label} cannot sustain "
                 f"{workload.rate_per_s:g} req/s")
         return ClusterReport(
             deployment=deployment,
             workload=workload,
             chip=chip,
-            model=get_model(deployment.model),
+            model=model,
             cluster=cluster,
             qos=cluster.qos(),
         )
-    device = _device_for(chip, sim_cache, context_bucket)
     requests = workload.request_stream() if workload.streaming \
         else workload.build_requests()
-    engine = ClusterEngine(
-        device, model, deployment.scheduler_limits(),
-        num_devices=deployment.num_devices,
-        replicas=deployment.replicas,
-        router=deployment.router,
-        fast_forward=sim_cache,
-        autoscale=deployment.autoscale,
-        prefix_cache=deployment.prefix_cache,
-        faults=deployment.faults,
-    )
+    engine = build_cluster_engine(deployment, sim_cache=sim_cache,
+                                  context_bucket=context_bucket)
     cluster = engine.run(requests, max_sim_seconds=max_sim_seconds,
                          progress=progress)
     if not cluster.merged.finished:
         raise EndpointOverloaded(
             f"no requests finished within {max_sim_seconds:g} s — "
-            f"{deployment.replicas}x {chip.name} cannot sustain "
+            f"{fleet_label} cannot sustain "
             f"{workload.rate_per_s:g} req/s")
     return ClusterReport(
         deployment=deployment,

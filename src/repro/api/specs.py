@@ -312,6 +312,191 @@ class WorkloadSpec:
 
 
 # --------------------------------------------------------------------- #
+# Fleet composition                                                      #
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ReplicaGroupSpec:
+    """One homogeneous slice of a heterogeneous fleet.
+
+    A group is ``count`` identical endpoints sharing one hardware and
+    scheduling configuration — the per-endpoint knobs mirror
+    :class:`DeploymentSpec` (chip, model, device count, batch and KV
+    limits), and the group-level knobs describe how the fleet treats
+    the slice as a unit:
+
+    * ``cost_per_replica_s`` prices one replica-second of the group —
+      the currency the cost-aware autoscaler and the mixed-fleet
+      capacity search optimize over (relative units; 1.0 for the
+      baseline chip, 2.5 for a chip 2.5x as expensive to run).
+    * ``min_count`` / ``max_count`` bound the group under autoscaling
+      (``None`` defers to the fleet-wide
+      :class:`~repro.cluster.autoscaler.AutoscaleSpec` range).
+    * ``provision_latency_s`` overrides the fleet-wide cold-provision
+      latency for this group (``None`` inherits it) — a cloud GPU pool
+      and an on-prem accelerator rack rarely launch at the same speed.
+    * ``name`` labels the group in reports (defaults to the chip name).
+    """
+
+    chip: str | ChipSpec = "ador"
+    model: str = "llama3-8b"
+    count: int = 1
+    num_devices: int = 1
+    max_batch: int = 256
+    prefill_chunk_tokens: int = 512
+    kv_budget_bytes: float | None = None
+    cost_per_replica_s: float = 1.0
+    min_count: int | None = None
+    max_count: int | None = None
+    provision_latency_s: float | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("group count must be >= 0")
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if self.cost_per_replica_s <= 0:
+            raise ValueError("cost_per_replica_s must be positive")
+        if self.min_count is not None and self.min_count < 0:
+            raise ValueError("min_count must be >= 0")
+        if self.max_count is not None and self.max_count < 1:
+            raise ValueError("max_count must be >= 1")
+        if self.min_count is not None and self.max_count is not None \
+                and self.min_count > self.max_count:
+            raise ValueError(
+                f"min_count={self.min_count} must not exceed "
+                f"max_count={self.max_count}")
+        if self.provision_latency_s is not None \
+                and self.provision_latency_s < 0:
+            raise ValueError("provision_latency_s must be non-negative")
+        # canonicalize "unlimited" exactly as DeploymentSpec does
+        if self.kv_budget_bytes == float("inf"):
+            object.__setattr__(self, "kv_budget_bytes", None)
+
+    @property
+    def label(self) -> str:
+        """Report label: explicit ``name``, else the chip reference."""
+        if self.name:
+            return self.name
+        return self.chip if isinstance(self.chip, str) else self.chip.name
+
+    def chip_spec(self) -> ChipSpec:
+        """Resolve the chip reference to a concrete spec."""
+        if isinstance(self.chip, ChipSpec):
+            return self.chip
+        return get_chip(self.chip)
+
+    def scheduler_limits(self) -> SchedulerLimits:
+        """The :class:`SchedulerLimits` one replica of the group runs."""
+        budget = float("inf") if self.kv_budget_bytes is None \
+            else self.kv_budget_bytes
+        return SchedulerLimits(
+            max_batch=self.max_batch,
+            prefill_chunk_tokens=self.prefill_chunk_tokens,
+            kv_budget_bytes=budget,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        chip = self.chip if isinstance(self.chip, str) \
+            else chip_to_dict(self.chip)
+        return {
+            "chip": chip,
+            "model": self.model,
+            "count": self.count,
+            "num_devices": self.num_devices,
+            "max_batch": self.max_batch,
+            "prefill_chunk_tokens": self.prefill_chunk_tokens,
+            "kv_budget_bytes": _finite(self.kv_budget_bytes),
+            "cost_per_replica_s": self.cost_per_replica_s,
+            "min_count": self.min_count,
+            "max_count": self.max_count,
+            "provision_latency_s": self.provision_latency_s,
+            "name": self.name,
+        }
+
+    _FIELDS = frozenset(
+        ("chip", "model", "count", "num_devices", "max_batch",
+         "prefill_chunk_tokens", "kv_budget_bytes", "cost_per_replica_s",
+         "min_count", "max_count", "provision_latency_s", "name"))
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReplicaGroupSpec":
+        _require_mapping(data, "replica group")
+        _reject_unknown_keys(data, cls._FIELDS, "replica group")
+        chip = data.get("chip", "ador")
+        if isinstance(chip, dict):
+            chip = chip_from_dict(chip)
+        return cls(
+            chip=chip,
+            model=data.get("model", "llama3-8b"),
+            count=data.get("count", 1),
+            num_devices=data.get("num_devices", 1),
+            max_batch=data.get("max_batch", 256),
+            prefill_chunk_tokens=data.get("prefill_chunk_tokens", 512),
+            kv_budget_bytes=data.get("kv_budget_bytes"),
+            cost_per_replica_s=data.get("cost_per_replica_s", 1.0),
+            min_count=data.get("min_count"),
+            max_count=data.get("max_count"),
+            provision_latency_s=data.get("provision_latency_s"),
+            name=data.get("name", ""),
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """An explicit fleet composition: an ordered tuple of replica groups.
+
+    The heterogeneous generalization of ``DeploymentSpec(replicas=N)``:
+    a fleet of ``N`` identical endpoints is a one-group fleet, and the
+    engine treats the two identically (parity-tested bit-identical).
+    Group order is semantic — replica ids are assigned group by group,
+    and cost ties in the autoscaler and the capacity search break
+    toward the earliest group — so two fleets with the same groups in a
+    different order are different specs.
+    """
+
+    groups: tuple[ReplicaGroupSpec, ...] = (ReplicaGroupSpec(),)
+
+    def __post_init__(self) -> None:
+        # accept any iterable of groups, store a hashable tuple
+        object.__setattr__(self, "groups", tuple(self.groups))
+        if not self.groups:
+            raise ValueError("a fleet needs at least one replica group")
+        for group in self.groups:
+            if not isinstance(group, ReplicaGroupSpec):
+                raise ValueError(
+                    f"fleet groups must be ReplicaGroupSpec instances, "
+                    f"got {type(group).__name__}")
+        if self.total_replicas < 1:
+            raise ValueError(
+                "a fleet needs at least one replica across its groups")
+
+    @property
+    def total_replicas(self) -> int:
+        """Initial fleet size: the sum of every group's ``count``."""
+        return sum(group.count for group in self.groups)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "groups": [group.to_dict() for group in self.groups],
+        }
+
+    _FIELDS = frozenset(("groups",))
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FleetSpec":
+        _require_mapping(data, "fleet")
+        _reject_unknown_keys(data, cls._FIELDS, "fleet")
+        groups = data.get("groups")
+        if not isinstance(groups, list) or not groups:
+            raise ValueError(
+                "fleet section needs a non-empty 'groups' list")
+        return cls(groups=tuple(
+            ReplicaGroupSpec.from_dict(group) for group in groups))
+
+
+# --------------------------------------------------------------------- #
 # Deployment                                                             #
 # --------------------------------------------------------------------- #
 
@@ -328,6 +513,15 @@ class DeploymentSpec:
     behind a router named by ``router`` (a
     :mod:`repro.cluster.router` registry entry); with ``replicas > 1``
     :func:`repro.api.simulate` dispatches to the cluster engine.
+
+    ``fleet`` generalizes ``replicas`` to a heterogeneous fleet: an
+    explicit :class:`FleetSpec` of :class:`ReplicaGroupSpec` slices,
+    each with its own chip/model/batching/KV knobs.  When set, the
+    top-level chip/model/batching knobs describe nothing (each group
+    carries its own) and ``replicas`` must stay at its default of 1 —
+    the two are competing ways to size the fleet, and silently
+    preferring one would hide a config mistake.  A one-group fleet is
+    bit-identical to the legacy ``replicas=N`` path.
 
     ``autoscale`` makes the fleet elastic: ``replicas`` becomes the
     *initial* size and the spec'd
@@ -365,18 +559,31 @@ class DeploymentSpec:
     autoscale: AutoscaleSpec | None = None
     prefix_cache: PrefixCacheSpec | None = None
     faults: FaultSpec | None = None
+    fleet: FleetSpec | None = None
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise ValueError("num_devices must be >= 1")
         if self.replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if self.fleet is not None:
+            if self.replicas != 1:
+                raise ValueError(
+                    f"fleet and replicas={self.replicas} are two "
+                    f"competing ways to size the fleet — with an "
+                    f"explicit fleet, leave replicas at 1 and size each "
+                    f"group via its count")
+            if self.batching != "continuous":
+                raise ValueError(
+                    f"an explicit fleet requires continuous batching, "
+                    f"got {self.batching!r} — the cluster engine is "
+                    f"iteration-faithful only for continuous batching")
         if self.autoscale is not None and not (
-                self.autoscale.min_replicas <= self.replicas
+                self.autoscale.min_replicas <= self.total_replicas
                 <= self.autoscale.max_replicas):
             raise ValueError(
-                f"replicas={self.replicas} (the initial fleet size) must "
-                f"lie within the autoscale range "
+                f"replicas={self.total_replicas} (the initial fleet "
+                f"size) must lie within the autoscale range "
                 f"[{self.autoscale.min_replicas}, "
                 f"{self.autoscale.max_replicas}]")
         if self.prefix_cache is not None and self.prefix_cache.enabled \
@@ -399,6 +606,32 @@ class DeploymentSpec:
         # and specs must compare equal after a JSON round-trip
         if self.kv_budget_bytes == float("inf"):
             object.__setattr__(self, "kv_budget_bytes", None)
+
+    @property
+    def total_replicas(self) -> int:
+        """Initial fleet size regardless of how it was expressed."""
+        if self.fleet is not None:
+            return self.fleet.total_replicas
+        return self.replicas
+
+    def fleet_groups(self) -> tuple[ReplicaGroupSpec, ...]:
+        """The fleet as explicit groups, whichever way it was spec'd.
+
+        An explicit ``fleet`` returns its groups verbatim; the legacy
+        ``replicas=N`` form folds the top-level endpoint knobs into one
+        N-replica group, which the engine treats identically.
+        """
+        if self.fleet is not None:
+            return self.fleet.groups
+        return (ReplicaGroupSpec(
+            chip=self.chip,
+            model=self.model,
+            count=self.replicas,
+            num_devices=self.num_devices,
+            max_batch=self.max_batch,
+            prefill_chunk_tokens=self.prefill_chunk_tokens,
+            kv_budget_bytes=self.kv_budget_bytes,
+        ),)
 
     def chip_spec(self) -> ChipSpec:
         """Resolve the chip reference to a concrete spec."""
@@ -435,12 +668,15 @@ class DeploymentSpec:
             if self.prefix_cache is not None else None,
             "faults": self.faults.to_dict()
             if self.faults is not None else None,
+            "fleet": self.fleet.to_dict()
+            if self.fleet is not None else None,
         }
 
     _FIELDS = frozenset(
         ("chip", "model", "num_devices", "max_batch",
          "prefill_chunk_tokens", "kv_budget_bytes", "batching",
-         "replicas", "router", "autoscale", "prefix_cache", "faults"))
+         "replicas", "router", "autoscale", "prefix_cache", "faults",
+         "fleet"))
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "DeploymentSpec":
@@ -452,6 +688,7 @@ class DeploymentSpec:
         autoscale = data.get("autoscale")
         prefix_cache = data.get("prefix_cache")
         faults = data.get("faults")
+        fleet = data.get("fleet")
         return cls(
             chip=chip,
             model=data.get("model", "llama3-8b"),
@@ -468,6 +705,8 @@ class DeploymentSpec:
             if prefix_cache is not None else None,
             faults=FaultSpec.from_dict(faults)
             if faults is not None else None,
+            fleet=FleetSpec.from_dict(fleet)
+            if fleet is not None else None,
         )
 
 

@@ -28,7 +28,9 @@ from repro.api import (
     DeploymentSpec,
     EndpointOverloaded,
     FaultSpec,
+    FleetSpec,
     PrefixCacheSpec,
+    ReplicaGroupSpec,
     WorkloadSpec,
     find_capacity,
     load_experiment,
@@ -226,6 +228,72 @@ def _faults_spec(args: argparse.Namespace) -> FaultSpec | None:
     return FaultSpec(**overrides)
 
 
+def _fleet_spec(args: argparse.Namespace) -> FleetSpec | None:
+    """Build a FleetSpec from repeatable ``--group CHIP:COUNT`` flags.
+
+    ``--group`` makes the fleet explicit, so the flags that size or
+    type a homogeneous fleet (``--replicas``, ``--chip``) become
+    competing instructions — fail loudly, same contract as the JSON
+    specs.
+    """
+    if not args.group:
+        return None
+    if args.replicas != 1:
+        raise ValueError(
+            "--group and --replicas are two competing ways to size "
+            "the fleet; size each group via its COUNT and drop "
+            "--replicas")
+    if args.chip is not None:
+        raise ValueError(
+            "--group names each group's chip; drop --chip (it only "
+            "types the homogeneous single-chip fleet)")
+    groups = []
+    for value in args.group:
+        chip, sep, raw = value.partition(":")
+        if not sep or not chip:
+            raise ValueError(
+                f"--group {value!r}: expected CHIP:COUNT "
+                f"(e.g. --group ador:2 --group a100:1)")
+        if chip not in list_chips():
+            raise ValueError(
+                f"--group {value!r}: unknown chip {chip!r} "
+                f"(choices: {', '.join(list_chips())})")
+        try:
+            count = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"--group {value!r}: COUNT must be an integer, "
+                f"got {raw!r}") from None
+        groups.append(ReplicaGroupSpec(
+            chip=chip,
+            model=args.model,
+            count=count,
+            num_devices=args.devices,
+            max_batch=args.max_batch,
+            kv_budget_bytes=float("inf") if args.kv_budget_gb is None
+            else args.kv_budget_gb * float(1 << 30),
+        ))
+    return FleetSpec(groups=tuple(groups))
+
+
+def _router_name(args: argparse.Namespace) -> str:
+    """The router name, with ``--slo-short-tokens`` folded in.
+
+    The threshold routers take the short/long prompt boundary through
+    the parametric ``"name:N"`` form (see
+    :func:`repro.cluster.router.make_router`), so the flag rewrites
+    the name instead of adding a parallel config channel.  On any
+    other router the flag would silently do nothing — fail loudly.
+    """
+    if args.slo_short_tokens is None:
+        return args.router
+    if args.router not in ("slo-aware", "hetero-aware"):
+        raise ValueError(
+            "--slo-short-tokens tunes the threshold routers; pair it "
+            "with --router slo-aware or --router hetero-aware")
+    return f"{args.router}:{args.slo_short_tokens}"
+
+
 def _progress_reporter(args: argparse.Namespace, label: str):
     """The ``--progress`` heartbeat, or ``None`` when the flag is off.
 
@@ -243,13 +311,14 @@ def _progress_reporter(args: argparse.Namespace, label: str):
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         deployment = DeploymentSpec(
-            chip=args.chip,
+            chip=args.chip if args.chip is not None else "ador",
             model=args.model,
             num_devices=args.devices,
             max_batch=args.max_batch,
             batching=args.policy,
             replicas=args.replicas,
-            router=args.router,
+            router=_router_name(args),
+            fleet=_fleet_spec(args),
             autoscale=_autoscale_spec(args),
             kv_budget_bytes=float("inf") if args.kv_budget_gb is None
             else args.kv_budget_gb * float(1 << 30),
@@ -484,7 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="simulate a serving endpoint")
     serve.add_argument("--model", default="llama3-8b")
-    serve.add_argument("--chip", choices=list_chips(), default="ador")
+    serve.add_argument("--chip", choices=list_chips(), default=None,
+                       help="chip preset of a homogeneous fleet "
+                            "(default ador; mutually exclusive with "
+                            "--group)")
     serve.add_argument("--trace", default="ultrachat",
                        help="workload trace name (e.g. ultrachat, "
                             "fixed-512x128)")
@@ -503,6 +575,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--router", default="round-robin",
                        choices=list_routers(),
                        help="router policy for multi-replica serving")
+    serve.add_argument("--group", action="append", default=None,
+                       metavar="CHIP:COUNT",
+                       help="replica group CHIP:COUNT (repeatable); "
+                            "builds an explicit, possibly "
+                            "heterogeneous fleet — mutually exclusive "
+                            "with --replicas and --chip (pair with "
+                            "--router hetero-aware to route by "
+                            "capability)")
+    serve.add_argument("--slo-short-tokens", type=int, default=None,
+                       help="short/long prompt boundary in input "
+                            "tokens for the slo-aware / hetero-aware "
+                            "routers (default 256); rewrites the "
+                            "router name to its parametric "
+                            "'name:N' form")
     serve.add_argument("--autoscale", default=None,
                        choices=list_autoscalers(),
                        help="autoscaler policy; --replicas becomes the "

@@ -35,6 +35,15 @@ Built-ins:
 All built-ins are deterministic: the same request stream and spec always
 produce the identical scaling history, so autoscaled experiments replay
 bit-identically.
+
+Policies size the fleet as a *total*; on a heterogeneous fleet
+(:class:`~repro.api.specs.FleetSpec`) the engine decides **which group**
+each unit of the difference lands on — scale-ups go to the cheapest
+group with ``max_count`` headroom, scale-downs retire from the most
+expensive group above its ``min_count`` floor, and each group's
+``provision_latency_s`` (when set) overrides the spec-wide one.  A
+one-group fleet collapses to the legacy behavior exactly, so existing
+policies and their scaling histories are untouched.
 """
 
 from __future__ import annotations
@@ -91,6 +100,21 @@ class FleetObservation:
     def queue_depth_per_replica(self) -> float:
         """Mean outstanding requests per ready replica."""
         return self.outstanding_requests / max(self.ready, 1)
+
+    def ready_per_group(self) -> dict[int, int]:
+        """Ready replicas per fleet group (``{group_index: count}``).
+
+        On a legacy homogeneous fleet every snapshot carries group 0,
+        so the dict has one entry and policies that ignore it lose
+        nothing.  Group-aware policies can weigh this against the
+        groups' capabilities; which *group* a scale decision lands on
+        stays the engine's call (cheapest group up, most expensive
+        down — see :class:`repro.cluster.engine.EngineGroup`).
+        """
+        counts: dict[int, int] = {}
+        for snapshot in self.replicas:
+            counts[snapshot.group] = counts.get(snapshot.group, 0) + 1
+        return counts
 
 
 class AutoscalerPolicy(Protocol):

@@ -51,8 +51,10 @@ from repro.cluster.report import (
     AutoscaleTrace,
     ClusterResult,
     FleetSample,
+    GroupBreakdown,
     ScaleEvent,
     aggregate_cluster,
+    group_breakdowns,
 )
 from repro.cluster.router import ReplicaSnapshot, RouterPolicy, make_router
 from repro.models.config import ModelConfig
@@ -94,6 +96,13 @@ class ReplicaSim:
         self.now = 0.0
         self.pending: deque[Request] = deque()  # routed, not yet enqueued
         self.finished: list[Request] = []
+        # --- group identity (set by the cluster engine on hetero fleets;
+        # the defaults keep a directly-built replica homogeneous) ---
+        self.group: "EngineGroup | None" = None
+        self.group_index = 0
+        self.chip_label = ""
+        self.prefill_rate = 0.0
+        self.decode_rate = 0.0
         self.assigned_requests = 0
         self.assigned_tokens = 0
         self._outstanding_tokens = 0
@@ -149,6 +158,10 @@ class ReplicaSim:
                 active_requests=self.scheduler.active_count,
                 assigned_requests=self.assigned_requests,
                 assigned_tokens=self.assigned_tokens,
+                chip=self.chip_label,
+                group=self.group_index,
+                prefill_tokens_per_s=self.prefill_rate,
+                decode_tokens_per_s=self.decode_rate,
             )
             self._snapshot = snap
         return snap
@@ -422,6 +435,54 @@ def _sorted_by_arrival(requests):
     return requests
 
 
+class EngineGroup:
+    """Runtime descriptor of one homogeneous slice of the fleet.
+
+    The engine-side mirror of
+    :class:`repro.api.specs.ReplicaGroupSpec`, with the chip reference
+    already resolved to a :class:`~repro.perf.baselines.DeviceModel`
+    and the scheduling knobs to :class:`SchedulerLimits`.  The two
+    capability rates are filled by the cluster engine's one-time
+    capability probe — only when the fleet actually mixes groups, so a
+    homogeneous fleet never pays (or exposes) them.
+    """
+
+    __slots__ = ("index", "name", "chip", "device", "model", "limits",
+                 "num_devices", "count", "cost_per_replica_s",
+                 "min_count", "max_count", "provision_latency_s",
+                 "prefill_tokens_per_s", "decode_tokens_per_s")
+
+    def __init__(self, index: int, name: str, chip: str,
+                 device: DeviceModel, model: ModelConfig,
+                 limits: SchedulerLimits, num_devices: int = 1,
+                 count: int = 1, cost_per_replica_s: float = 1.0,
+                 min_count: int | None = None,
+                 max_count: int | None = None,
+                 provision_latency_s: float | None = None) -> None:
+        if count < 0:
+            raise ValueError("group count must be >= 0")
+        if cost_per_replica_s <= 0:
+            raise ValueError("cost_per_replica_s must be positive")
+        self.index = index
+        self.name = name
+        self.chip = chip
+        self.device = device
+        self.model = model
+        self.limits = limits
+        self.num_devices = num_devices
+        self.count = count
+        self.cost_per_replica_s = cost_per_replica_s
+        self.min_count = min_count
+        self.max_count = max_count
+        self.provision_latency_s = provision_latency_s
+        self.prefill_tokens_per_s = 0.0
+        self.decode_tokens_per_s = 0.0
+
+    def floor(self) -> int:
+        """Scale-down floor: the group never shrinks below this."""
+        return self.min_count if self.min_count is not None else 0
+
+
 class ClusterEngine:
     """N replicas of one endpoint behind a router, one simulated clock.
 
@@ -437,6 +498,14 @@ class ClusterEngine:
     carries the scale-event log, fleet-size timeline and replica-seconds
     accounting.  All built-ins are deterministic: the same stream and
     spec always reproduce the identical assignment and scaling history.
+
+    A *heterogeneous* fleet is built via :meth:`from_groups` (or the
+    keyword-only ``groups`` argument): replica ids are assigned group by
+    group, every replica runs its group's device/model/limits, and —
+    only when more than one group exists — a one-time capability probe
+    stamps each group's prefill/decode rate estimate into the router
+    snapshots.  A single-group fleet takes exactly the legacy code path
+    and is bit-identical to ``replicas=N``.
     """
 
     def __init__(
@@ -452,7 +521,13 @@ class ClusterEngine:
         autoscaler: AutoscalerPolicy | None = None,
         prefix_cache=None,
         faults: FaultSpec | None = None,
+        *,
+        groups: list[EngineGroup] | None = None,
     ) -> None:
+        if groups is not None:
+            if not groups:
+                raise ValueError("groups must be a non-empty list")
+            replicas = sum(group.count for group in groups)
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         if autoscale is not None and not (
@@ -479,16 +554,96 @@ class ClusterEngine:
         self.autoscaler = autoscaler
         self.prefix_cache = prefix_cache
         self.faults = faults
+        if groups is None:
+            chip_name = getattr(getattr(device, "chip", None), "name", "")
+            groups = [EngineGroup(0, chip_name, chip_name, device, model,
+                                  limits, num_devices, count=replicas)]
+        self.groups = groups
+        if len(groups) > 1:
+            self._probe_capabilities()
         make_router(router)  # fail on unknown names at construction
         if autoscale is not None and autoscaler is None:
             make_autoscaler(autoscale.policy)
 
-    def _new_replica(self, replica_id: int) -> ReplicaSim:
-        return ReplicaSim(replica_id,
-                          ServingEngine(self.device, self.model,
-                                        self.limits, self.num_devices,
-                                        fast_forward=self.fast_forward,
-                                        prefix_cache=self.prefix_cache))
+    @classmethod
+    def from_groups(
+        cls,
+        groups: list[EngineGroup],
+        router: str | RouterPolicy = "round-robin",
+        fast_forward: bool = True,
+        autoscale: AutoscaleSpec | None = None,
+        autoscaler: AutoscalerPolicy | None = None,
+        prefix_cache=None,
+        faults: FaultSpec | None = None,
+    ) -> "ClusterEngine":
+        """Build an engine over an explicit (possibly mixed) fleet."""
+        if not groups:
+            raise ValueError("groups must be a non-empty list")
+        lead = groups[0]
+        return cls(lead.device, lead.model, lead.limits,
+                   num_devices=lead.num_devices,
+                   router=router, fast_forward=fast_forward,
+                   autoscale=autoscale, autoscaler=autoscaler,
+                   prefix_cache=prefix_cache, faults=faults,
+                   groups=groups)
+
+    def _probe_capabilities(self) -> None:
+        """Single-request microbenchmark per group: estimated prefill
+        and decode token rates, comparable across chips.
+
+        Entered only for mixed fleets — these rates flow into every
+        router snapshot, and the homogeneous contract is that snapshots
+        (and code paths) stay byte-identical to the pre-group engine.
+        """
+        for group in self.groups:
+            prefill_s = group.device.prefill_time(
+                group.model, 1, 512, group.num_devices).seconds
+            group.prefill_tokens_per_s = 512.0 / prefill_s \
+                if prefill_s > 0 else 0.0
+            decode_s = group.device.decode_step_time(
+                group.model, 8, 512, group.num_devices).seconds
+            group.decode_tokens_per_s = 8.0 / decode_s \
+                if decode_s > 0 else 0.0
+
+    def _new_replica(self, replica_id: int,
+                     group: EngineGroup | None = None) -> ReplicaSim:
+        if group is None:
+            group = self.groups[0]
+        replica = ReplicaSim(
+            replica_id,
+            ServingEngine(group.device, group.model,
+                          group.limits, group.num_devices,
+                          fast_forward=self.fast_forward,
+                          prefix_cache=self.prefix_cache))
+        replica.group = group
+        replica.group_index = group.index
+        replica.chip_label = group.name
+        replica.prefill_rate = group.prefill_tokens_per_s
+        replica.decode_rate = group.decode_tokens_per_s
+        return replica
+
+    def _initial_fleet(self) -> list[ReplicaSim]:
+        """Replica ids run 0..N-1 group by group, in spec order."""
+        fleet: list[ReplicaSim] = []
+        for group in self.groups:
+            for _ in range(group.count):
+                fleet.append(self._new_replica(len(fleet), group))
+        return fleet
+
+    def _static_breakdowns(
+            self, fleet: list[ReplicaSim],
+            results: list[SimulationResult],
+    ) -> tuple[tuple[GroupBreakdown, ...] | None, tuple[int, ...] | None]:
+        """Per-group shares of a fixed-fleet run (hetero fleets only)."""
+        if len(self.groups) == 1:
+            return None, None
+        wall = max(result.total_time_s for result in results)
+        group_ids = tuple(replica.group_index for replica in fleet)
+        meta = [(g.name, g.chip, g.cost_per_replica_s)
+                for g in self.groups]
+        seconds = [wall * g.count for g in self.groups]
+        return group_breakdowns(results, group_ids, meta,
+                                seconds), group_ids
 
     @staticmethod
     def _route(router: RouterPolicy, request: Request,
@@ -539,7 +694,7 @@ class ClusterEngine:
 
     def _run_static(self, requests, max_sim_seconds: float,
                     router: RouterPolicy, progress=None) -> ClusterResult:
-        fleet = [self._new_replica(i) for i in range(self.replicas)]
+        fleet = self._initial_fleet()
         for request in _sorted_by_arrival(requests):
             arrival = request.arrival_time
             for replica in fleet:
@@ -549,7 +704,10 @@ class ClusterEngine:
                 progress(arrival, sum(len(r.finished) for r in fleet))
         for replica in fleet:
             replica.advance_to(float("inf"), max_sim_seconds)
-        return aggregate_cluster([r.result() for r in fleet])
+        results = [r.result() for r in fleet]
+        breakdowns, group_ids = self._static_breakdowns(fleet, results)
+        return aggregate_cluster(results, groups=breakdowns,
+                                 group_ids=group_ids)
 
     def _run_autoscaled(self, requests, max_sim_seconds: float,
                         router: RouterPolicy,
@@ -557,7 +715,7 @@ class ClusterEngine:
         spec = self.autoscale
         policy = self.autoscaler if self.autoscaler is not None \
             else make_autoscaler(spec.policy)
-        fleet = _DynamicFleet(self._new_replica, spec, self.replicas)
+        fleet = _DynamicFleet(self._new_replica, spec, self.groups)
         next_decision = spec.decision_interval_s
         for request in _sorted_by_arrival(requests):
             arrival = request.arrival_time
@@ -605,7 +763,7 @@ class ClusterEngine:
         """
         injector = FaultInjector(spec, max_sim_seconds)
         coordinator = _FaultCoordinator(spec, injector)
-        fleet = [self._new_replica(i) for i in range(self.replicas)]
+        fleet = self._initial_fleet()
         for replica in fleet:
             replica.fault_plan = injector.plan_for(replica.replica_id, 0.0)
         for request in _sorted_by_arrival(requests):
@@ -645,7 +803,9 @@ class ClusterEngine:
                 break
         results = [r.result() for r in fleet]
         wall = max(result.total_time_s for result in results)
-        return aggregate_cluster(results, faults=injector.trace(wall))
+        breakdowns, group_ids = self._static_breakdowns(fleet, results)
+        return aggregate_cluster(results, faults=injector.trace(wall),
+                                 groups=breakdowns, group_ids=group_ids)
 
     def _run_autoscaled_faulty(self, requests, max_sim_seconds: float,
                                router: RouterPolicy, spec: FaultSpec,
@@ -665,7 +825,7 @@ class ClusterEngine:
         injector = FaultInjector(spec, max_sim_seconds)
         coordinator = _FaultCoordinator(spec, injector)
         fleet = _FaultyDynamicFleet(self._new_replica, autoscale,
-                                    self.replicas, coordinator)
+                                    self.groups, coordinator)
         interval = autoscale.decision_interval_s
         next_decision = interval
         for request in _sorted_by_arrival(requests):
@@ -818,18 +978,30 @@ class _DynamicFleet:
     work), then drain the ready replica with the fewest outstanding
     requests (ties to the newest id).  Retiring a replica returns one
     slot to the warm pool, capped at ``warm_pool_size``.
+
+    On a multi-group fleet the same lifecycle runs per group: each
+    scale-up unit launches into the *cheapest* group still under its
+    ``max_count`` (cost ties to the earliest group), each scale-down
+    unit removes from the most expensive group above its ``min_count``
+    (ties to the latest group), a group-level ``provision_latency_s``
+    overrides the fleet-wide cold latency, and warm stock is kept per
+    group (a warm GPU is not a warm ADOR).  With one group every choice
+    collapses to the legacy single-pool behavior, bit for bit.
     """
 
     def __init__(self, new_replica, spec: AutoscaleSpec,
-                 initial: int) -> None:
+                 groups: list[EngineGroup]) -> None:
         self.new_replica = new_replica
         self.spec = spec
-        self.live: list[ReplicaSim] = [new_replica(i)
-                                       for i in range(initial)]
+        self.groups = groups
+        self.live: list[ReplicaSim] = []
+        for group in groups:
+            for _ in range(group.count):
+                self.live.append(new_replica(len(self.live), group))
         self.everyone: list[ReplicaSim] = list(self.live)
-        self.initial = initial
-        self.next_id = initial
-        self.warm_stock = spec.warm_pool_size
+        self.initial = len(self.live)
+        self.next_id = self.initial
+        self.warm_stock = [spec.warm_pool_size for _ in groups]
         self.events: list[ScaleEvent] = []
         self.samples: list[FleetSample] = []
         self.warm_launches = 0
@@ -858,6 +1030,12 @@ class _DynamicFleet:
         """Ready + provisioning replicas: what counts toward ``desired``
         (draining ones are already on their way out)."""
         return [r for r in self.live if not r.draining]
+
+    def _launched_per_group(self) -> list[int]:
+        counts = [0] * len(self.groups)
+        for replica in self._launched():
+            counts[replica.group_index] += 1
+        return counts
 
     def _advance(self, replica: ReplicaSim, target: float,
                  horizon: float) -> None:
@@ -930,28 +1108,42 @@ class _DynamicFleet:
         replica.retired_at = when
         self._retired_busy += replica.busy
         # a drained (once-ready) replica is a warm machine and refills
-        # the pool; a cancelled warm launch returns the slot it took.
-        # A cancelled *cold* launch never finished provisioning, so no
-        # warm machine exists to return.
+        # its group's pool; a cancelled warm launch returns the slot it
+        # took.  A cancelled *cold* launch never finished provisioning,
+        # so no warm machine exists to return.
         if replica.ready_at <= when or replica.from_warm_pool:
-            self.warm_stock = min(self.warm_stock + 1,
-                                  self.spec.warm_pool_size)
+            group = replica.group_index
+            self.warm_stock[group] = min(self.warm_stock[group] + 1,
+                                         self.spec.warm_pool_size)
 
     def _scale_up(self, now: float, count: int) -> None:
         spec = self.spec
         warm_used = 0
         ids = []
+        launched = self._launched_per_group()
         for _ in range(count):
-            warm = self.warm_stock > 0
+            # cheapest group with headroom wins each unit; ties break
+            # to the earliest group, so a one-group fleet always picks
+            # its only group and reproduces the legacy single-pool path
+            eligible = [g for g in self.groups
+                        if g.max_count is None
+                        or launched[g.index] < g.max_count]
+            if not eligible:
+                break
+            group = min(eligible,
+                        key=lambda g: (g.cost_per_replica_s, g.index))
+            warm = self.warm_stock[group.index] > 0
             if warm:
-                self.warm_stock -= 1
+                self.warm_stock[group.index] -= 1
                 warm_used += 1
                 self.warm_launches += 1
                 latency = spec.warm_provision_s
             else:
                 self.cold_launches += 1
-                latency = spec.provision_latency_s
-            replica = self.new_replica(self.next_id)
+                latency = group.provision_latency_s \
+                    if group.provision_latency_s is not None \
+                    else spec.provision_latency_s
+            replica = self.new_replica(self.next_id, group)
             replica.launched_at = now
             replica.ready_at = now + latency
             replica.from_warm_pool = warm
@@ -959,37 +1151,72 @@ class _DynamicFleet:
             self.next_id += 1
             self.live.append(replica)
             self.everyone.append(replica)
-        self.events.append(ScaleEvent(
-            clock_s=now, kind="up", delta=count,
-            replicas_after=len(self._launched()),
-            warm_used=warm_used, replica_ids=tuple(ids)))
+            launched[group.index] += 1
+        if ids:
+            self.events.append(ScaleEvent(
+                clock_s=now, kind="up", delta=len(ids),
+                replicas_after=len(self._launched()),
+                warm_used=warm_used, replica_ids=tuple(ids)))
+
+    def _scale_down_victim(self, now: float,
+                           launched: list[int]
+                           ) -> tuple[ReplicaSim, bool] | None:
+        """Pick one replica to remove: ``(replica, cancel)`` where
+        ``cancel`` means it was still provisioning (never served).
+
+        The most expensive group above its floor gives up a replica
+        first (cost ties to the latest group — the mirror of scale-up's
+        earliest-group preference, so a fleet converges back to its
+        cheap groups); within a group, still-provisioning replicas are
+        cancelled newest-id first before any ready replica drains.
+        """
+        eligible = [g for g in self.groups
+                    if launched[g.index] > g.floor()]
+        while eligible:
+            group = max(eligible,
+                        key=lambda g: (g.cost_per_replica_s, g.index))
+            provisioning = [r for r in self.live
+                            if not r.draining and r.ready_at > now
+                            and r.group_index == group.index]
+            if provisioning:
+                return max(provisioning,
+                           key=lambda r: r.replica_id), True
+            ready = [r for r in self.live
+                     if not r.draining and r.ready_at <= now
+                     and r.group_index == group.index]
+            if ready:
+                return min(ready,
+                           key=lambda r: (r.outstanding_requests,
+                                          -r.replica_id)), False
+            eligible.remove(group)
+        return None
 
     def _scale_down(self, now: float, count: int) -> None:
         ids = []
-        provisioning = sorted(
-            (r for r in self.live
-             if not r.draining and r.ready_at > now),
-            key=lambda r: -r.replica_id)
-        for replica in provisioning[:count]:
-            # never served traffic: cancel, don't drain
-            self._retire(replica, now)
-            self.live.remove(replica)
-            ids.append(replica.replica_id)
-        remaining = count - len(ids)
-        if remaining > 0:
-            ready = sorted(
-                (r for r in self.live
-                 if not r.draining and r.ready_at <= now),
-                key=lambda r: (r.outstanding_requests, -r.replica_id))
-            for replica in ready[:remaining]:
+        drained = False
+        launched = self._launched_per_group()
+        for _ in range(count):
+            victim = self._scale_down_victim(now, launched)
+            if victim is None:
+                break
+            replica, cancel = victim
+            if cancel:
+                # never served traffic: cancel, don't drain
+                self._retire(replica, now)
+                self.live.remove(replica)
+            else:
                 replica.draining = True
                 replica.drain_started_at = now
-                ids.append(replica.replica_id)
+                drained = True
+            launched[replica.group_index] -= 1
+            ids.append(replica.replica_id)
+        if drained:
             self._retire_drained()  # already-idle ones retire instantly
-        self.events.append(ScaleEvent(
-            clock_s=now, kind="down", delta=-count,
-            replicas_after=len(self._launched()),
-            warm_used=0, replica_ids=tuple(ids)))
+        if ids:
+            self.events.append(ScaleEvent(
+                clock_s=now, kind="down", delta=-len(ids),
+                replicas_after=len(self._launched()),
+                warm_used=0, replica_ids=tuple(ids)))
 
     def _sample(self, now: float, observation: FleetObservation) -> None:
         """Timeline entry: the fleet composition *after* the decision
@@ -1010,10 +1237,14 @@ class _DynamicFleet:
         ))
         self._busy_prev = busy_total
 
-    def _alive_seconds(self, start: float, end: float) -> float:
-        """Replica-seconds spent inside the window ``[start, end]``."""
+    def _alive_seconds(self, start: float, end: float,
+                       group: int | None = None) -> float:
+        """Replica-seconds spent inside the window ``[start, end]``,
+        optionally restricted to one replica group."""
         total = 0.0
         for replica in self.everyone:
+            if group is not None and replica.group_index != group:
+                continue
             stop = replica.retired_at if replica.retired_at is not None \
                 else end
             total += max(0.0, min(stop, end) - max(replica.launched_at,
@@ -1034,8 +1265,20 @@ class _DynamicFleet:
                     for replica in self.everyone]
         wall = max((result.total_time_s for _, result in outcomes),
                    default=0.0)
-        results = [result for replica, result in outcomes
-                   if self._ever_ready(replica, wall)]
+        served = [(replica, result) for replica, result in outcomes
+                  if self._ever_ready(replica, wall)]
+        results = [result for _, result in served]
+        breakdowns: tuple[GroupBreakdown, ...] | None = None
+        group_ids: tuple[int, ...] | None = None
+        if len(self.groups) > 1:
+            group_ids = tuple(replica.group_index
+                              for replica, _ in served)
+            meta = [(g.name, g.chip, g.cost_per_replica_s)
+                    for g in self.groups]
+            seconds = [self._alive_seconds(0.0, wall, group=g.index)
+                       for g in self.groups]
+            breakdowns = group_breakdowns(results, group_ids, meta,
+                                          seconds)
         trace = AutoscaleTrace(
             events=tuple(self.events),
             timeline=tuple(self.samples),
@@ -1052,7 +1295,8 @@ class _DynamicFleet:
             cold_launches=self.cold_launches,
         )
         return aggregate_cluster(results, autoscale=trace,
-                                 faults=self._fault_trace(wall))
+                                 faults=self._fault_trace(wall),
+                                 groups=breakdowns, group_ids=group_ids)
 
     @staticmethod
     def _ever_ready(replica: ReplicaSim, wall: float) -> bool:
@@ -1077,10 +1321,11 @@ class _FaultyDynamicFleet(_DynamicFleet):
     replica's schedule is independent of fleet dynamics.
     """
 
-    def __init__(self, new_replica, spec: AutoscaleSpec, initial: int,
+    def __init__(self, new_replica, spec: AutoscaleSpec,
+                 groups: list[EngineGroup],
                  coordinator: _FaultCoordinator) -> None:
         self.coordinator = coordinator
-        super().__init__(new_replica, spec, initial)
+        super().__init__(new_replica, spec, groups)
 
     def _advance(self, replica: ReplicaSim, target: float,
                  horizon: float) -> None:

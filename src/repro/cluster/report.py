@@ -30,7 +30,13 @@ from repro.serving.qos import QoSReport, compute_qos
 
 @dataclass(frozen=True)
 class LoadImbalanceStats:
-    """How evenly the router spread work across replicas."""
+    """How evenly the router spread work across replicas.
+
+    On a heterogeneous fleet the per-group tuples break the same
+    assigned-work totals out by replica group (index = group position
+    in the fleet spec); they stay empty on homogeneous runs, whose
+    reports are byte-identical to the pre-group engine.
+    """
 
     requests_per_replica: tuple[int, ...]     # assigned (finished + not)
     tokens_per_replica: tuple[int, ...]       # assigned input+output tokens
@@ -38,6 +44,8 @@ class LoadImbalanceStats:
     request_imbalance: float                  # max/mean assigned requests
     token_imbalance: float                    # max/mean assigned tokens
     token_cv: float                           # coeff. of variation of tokens
+    requests_per_group: tuple[int, ...] = ()
+    tokens_per_group: tuple[int, ...] = ()
 
     @property
     def replica_count(self) -> int:
@@ -59,9 +67,15 @@ def _coefficient_of_variation(values: Sequence[float]) -> float:
     return math.sqrt(variance) / mean
 
 
-def load_imbalance(replica_results: Sequence[SimulationResult]
+def load_imbalance(replica_results: Sequence[SimulationResult],
+                   group_ids: Sequence[int] | None = None
                    ) -> LoadImbalanceStats:
-    """Per-replica load spread of one cluster run."""
+    """Per-replica load spread of one cluster run.
+
+    ``group_ids`` (aligned with ``replica_results``) additionally folds
+    the per-replica totals into per-group tuples — the heterogeneous
+    fleets' view of where the router actually sent the work.
+    """
     if not replica_results:
         raise ValueError("need at least one replica result")
     # one common denominator — the fleet wall clock — so replica busy
@@ -75,6 +89,21 @@ def load_imbalance(replica_results: Sequence[SimulationResult]
         tokens.append(sum(r.input_tokens + r.output_tokens
                           for r in assigned))
         busy.append(result.busy_time_s / wall if wall > 0 else 0.0)
+    requests_per_group: tuple[int, ...] = ()
+    tokens_per_group: tuple[int, ...] = ()
+    if group_ids is not None:
+        if len(group_ids) != len(replica_results):
+            raise ValueError(
+                f"group_ids lists {len(group_ids)} entries for "
+                f"{len(replica_results)} replica results")
+        span = max(group_ids) + 1
+        group_requests = [0] * span
+        group_tokens = [0] * span
+        for group, count, mass in zip(group_ids, requests, tokens):
+            group_requests[group] += count
+            group_tokens[group] += mass
+        requests_per_group = tuple(group_requests)
+        tokens_per_group = tuple(group_tokens)
     return LoadImbalanceStats(
         requests_per_replica=tuple(requests),
         tokens_per_replica=tuple(tokens),
@@ -82,6 +111,8 @@ def load_imbalance(replica_results: Sequence[SimulationResult]
         request_imbalance=_max_over_mean(requests),
         token_imbalance=_max_over_mean(tokens),
         token_cv=_coefficient_of_variation(tokens),
+        requests_per_group=requests_per_group,
+        tokens_per_group=tokens_per_group,
     )
 
 
@@ -112,6 +143,81 @@ def merge_results(replica_results: Sequence[SimulationResult]
         prefix_cache=PrefixCacheStats.merged(cache_stats)
         if cache_stats else None,
     )
+
+
+@dataclass(frozen=True)
+class GroupBreakdown:
+    """One replica group's share of a heterogeneous cluster run.
+
+    ``qos`` is the group's own latency/throughput report over the fleet
+    wall clock (``None`` when the group finished nothing — an unused
+    group has no latencies to misreport).  ``replica_seconds`` is the
+    capacity the group consumed and ``cost`` prices it at the group's
+    ``cost_per_replica_s`` — the mixed-fleet comparison currency.
+    """
+
+    group: int                   # position of the group in the fleet spec
+    name: str                    # group label (defaults to the chip name)
+    chip: str
+    replica_count: int           # replicas of this group that served
+    finished_requests: int
+    generated_tokens: int
+    replica_seconds: float
+    cost_per_replica_s: float
+    cost: float                  # replica_seconds * cost_per_replica_s
+    qos: QoSReport | None
+
+    @property
+    def requests_per_replica_second(self) -> float:
+        """Finished requests per replica-second — group efficiency."""
+        if self.replica_seconds <= 0:
+            return 0.0
+        return self.finished_requests / self.replica_seconds
+
+
+def group_breakdowns(replica_results: Sequence[SimulationResult],
+                     group_ids: Sequence[int],
+                     meta: Sequence[tuple[str, str, float]],
+                     replica_seconds: Sequence[float]
+                     ) -> tuple[GroupBreakdown, ...]:
+    """Fold per-replica results into per-group shares.
+
+    ``group_ids`` aligns with ``replica_results``; ``meta`` is one
+    ``(name, chip, cost_per_replica_s)`` per group position and
+    ``replica_seconds`` the capacity each group consumed (the caller
+    knows whether that is wall-clock * count or an autoscale
+    integration).  Per-group QoS uses the *fleet* wall clock, so group
+    throughputs are comparable and sum to the fleet's.
+    """
+    if len(group_ids) != len(replica_results):
+        raise ValueError(
+            f"group_ids lists {len(group_ids)} entries for "
+            f"{len(replica_results)} replica results")
+    if len(meta) != len(replica_seconds):
+        raise ValueError(
+            f"meta lists {len(meta)} groups but replica_seconds "
+            f"lists {len(replica_seconds)}")
+    wall = max((r.total_time_s for r in replica_results), default=0.0)
+    breakdowns = []
+    for index, (name, chip, cost_rate) in enumerate(meta):
+        results = [result for group, result
+                   in zip(group_ids, replica_results) if group == index]
+        finished = [r for result in results for r in result.finished]
+        seconds = replica_seconds[index]
+        breakdowns.append(GroupBreakdown(
+            group=index,
+            name=name,
+            chip=chip,
+            replica_count=len(results),
+            finished_requests=len(finished),
+            generated_tokens=sum(r.generated_tokens for r in finished),
+            replica_seconds=seconds,
+            cost_per_replica_s=cost_rate,
+            cost=seconds * cost_rate,
+            qos=compute_qos(finished, wall)
+            if finished and wall > 0 else None,
+        ))
+    return tuple(breakdowns)
 
 
 @dataclass(frozen=True)
@@ -182,7 +288,9 @@ class ClusterResult:
     ``autoscale`` is ``None`` for fixed fleets; autoscaled runs carry
     the full scaling history.  ``faults`` is ``None`` for fault-free
     runs; fault-injected runs carry the event log, retry counters and
-    the failed (abandoned) requests.
+    the failed (abandoned) requests.  ``groups`` is ``None`` on
+    homogeneous fleets; heterogeneous runs carry one
+    :class:`GroupBreakdown` per replica group.
     """
 
     replica_results: tuple[SimulationResult, ...]
@@ -190,6 +298,7 @@ class ClusterResult:
     load: LoadImbalanceStats
     autoscale: AutoscaleTrace | None = None
     faults: FaultTrace | None = None
+    groups: tuple[GroupBreakdown, ...] | None = None
 
     @property
     def replica_count(self) -> int:
@@ -206,13 +315,21 @@ class ClusterResult:
 
 def aggregate_cluster(replica_results: Sequence[SimulationResult],
                       autoscale: AutoscaleTrace | None = None,
-                      faults: FaultTrace | None = None
+                      faults: FaultTrace | None = None,
+                      groups: tuple[GroupBreakdown, ...] | None = None,
+                      group_ids: Sequence[int] | None = None
                       ) -> ClusterResult:
-    """Bundle per-replica results with their merged view and load stats."""
+    """Bundle per-replica results with their merged view and load stats.
+
+    ``groups`` / ``group_ids`` (heterogeneous runs only) attach the
+    per-group breakdowns and per-group load totals; the homogeneous
+    call shape — and its result — is unchanged.
+    """
     return ClusterResult(
         replica_results=tuple(replica_results),
         merged=merge_results(replica_results),
-        load=load_imbalance(replica_results),
+        load=load_imbalance(replica_results, group_ids=group_ids),
         autoscale=autoscale,
         faults=faults,
+        groups=groups,
     )

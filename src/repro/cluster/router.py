@@ -35,7 +35,16 @@ Built-ins:
 * ``slo-aware``         — short prompts (TTFT-critical) join the
   shortest queue by *request count*; long prompts join the replica with
   the least outstanding *token mass*, spreading heavy prefills by work
-  rather than arrival order.
+  rather than arrival order;
+* ``hetero-aware``      — the mixed-fleet generalization of
+  ``slo-aware``: queue state is divided by each replica's probed
+  prefill/decode capability, so prefill-heavy prompts prefer
+  prefill-fast groups (falls back to ``slo-aware`` behavior when no
+  capability estimates are present).
+
+The threshold routers also resolve parametric names — ``"slo-aware:N"``
+/ ``"hetero-aware:N"`` set the short-prompt boundary to ``N`` input
+tokens (see :func:`make_router`).
 
 All built-ins are deterministic: the same request stream always produces
 the same assignment, so cluster experiments replay bit-identically.
@@ -52,7 +61,18 @@ from repro.serving.request import Request
 
 @dataclass(frozen=True, slots=True)
 class ReplicaSnapshot:
-    """One replica's load as the router sees it at an arrival instant."""
+    """One replica's load as the router sees it at an arrival instant.
+
+    The capability fields (``chip``, ``group``, and the two rate
+    estimates) describe *what kind* of replica this is, not its load;
+    on a homogeneous fleet the engine leaves them at their defaults, so
+    group-blind policies — everything except ``hetero-aware`` — behave
+    bit-identically whether or not a fleet was spec'd as groups.  The
+    rates are single-request microbenchmark estimates the engine probes
+    once per group (tokens/s of a 512-token prefill, tokens/s of a
+    batch-8 decode step), comparable across chips but not a throughput
+    promise under load.
+    """
 
     replica_id: int
     clock_s: float
@@ -62,6 +82,10 @@ class ReplicaSnapshot:
     active_requests: int        # prefilling + decoding right now
     assigned_requests: int      # everything ever routed here
     assigned_tokens: int
+    chip: str = ""              # chip label of the replica's group
+    group: int = 0              # position of the group in the fleet spec
+    prefill_tokens_per_s: float = 0.0   # 0.0 = capability unknown
+    decode_tokens_per_s: float = 0.0    # 0.0 = capability unknown
 
 
 class RouterPolicy(Protocol):
@@ -92,8 +116,23 @@ def get_router(name: str) -> Callable[[], RouterPolicy]:
 
 
 def make_router(router: str | RouterPolicy) -> RouterPolicy:
-    """Resolve a name to a fresh policy instance; pass instances through."""
+    """Resolve a name to a fresh policy instance; pass instances through.
+
+    Threshold routers accept a parametric form ``"name:N"`` (e.g.
+    ``"slo-aware:128"``) setting the short/long prompt boundary to
+    ``N`` input tokens — the name stays a plain string, so it rides
+    through experiment JSON and sharded-run pickling unchanged.
+    """
     if isinstance(router, str):
+        base, sep, raw = router.partition(":")
+        if sep and base in _PARAMETRIC_ROUTERS:
+            try:
+                short = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"router {router!r}: expected an integer token "
+                    f"threshold after ':', got {raw!r}") from None
+            return _PARAMETRIC_ROUTERS[base](short_input_tokens=short)
         return get_router(router)()
     return router
 
@@ -214,3 +253,76 @@ class SloAwareRouter:
         if request.input_tokens <= self.short_input_tokens:
             return _least_outstanding(replicas)
         return _least_outstanding_tokens(replicas)
+
+
+def _prefill_drain_s(snapshot: ReplicaSnapshot, input_tokens: int) -> float:
+    """Estimated seconds to prefill the queue plus this request."""
+    if snapshot.prefill_tokens_per_s <= 0.0:
+        return float("inf")
+    return (snapshot.outstanding_tokens + input_tokens) \
+        / snapshot.prefill_tokens_per_s
+
+
+def _fastest_prefill(replicas: Sequence[ReplicaSnapshot],
+                     input_tokens: int) -> int:
+    return min(range(len(replicas)),
+               key=lambda i: (_prefill_drain_s(replicas[i], input_tokens),
+                              replicas[i].replica_id))
+
+
+def _fastest_decode(replicas: Sequence[ReplicaSnapshot]) -> int:
+    def drain(snapshot: ReplicaSnapshot) -> float:
+        if snapshot.decode_tokens_per_s <= 0.0:
+            return float("inf")
+        return (snapshot.outstanding_requests + 1) \
+            / snapshot.decode_tokens_per_s
+
+    return min(range(len(replicas)),
+               key=lambda i: (drain(replicas[i]),
+                              replicas[i].replica_id))
+
+
+@register_router("hetero-aware")
+class HeteroAwareRouter:
+    """Capability-aware split routing for mixed-chip fleets.
+
+    Generalizes ``slo-aware`` by weighting queue state with each
+    replica's probed capability: long prompts join the replica whose
+    *prefill-normalized* backlog (outstanding tokens plus this prompt,
+    divided by the group's prefill rate) drains soonest — sending
+    prefill-heavy traffic to prefill-fast groups — while short prompts
+    join the replica whose request queue drains soonest by decode rate.
+
+    On a fleet whose snapshots carry no capability estimates (the
+    homogeneous single-group path leaves the rates at 0.0), both
+    choices collapse to the ``slo-aware`` tie-breaks, so the policy is
+    bit-identical to ``slo-aware`` there — capability awareness costs
+    nothing until a fleet actually mixes groups.
+    """
+
+    def __init__(self, short_input_tokens: int = 256) -> None:
+        if short_input_tokens < 1:
+            raise ValueError("short_input_tokens must be >= 1")
+        self.short_input_tokens = short_input_tokens
+
+    def route(self, request: Request,
+              replicas: Sequence[ReplicaSnapshot]) -> int:
+        # "any rate known" not "all known": a fleet mixing probed and
+        # unknown groups should still prefer the probed ones (unknown
+        # drains compare as +inf) rather than ignore capability.
+        known = any(snapshot.prefill_tokens_per_s > 0.0
+                    for snapshot in replicas)
+        if request.input_tokens <= self.short_input_tokens:
+            if not known:
+                return _least_outstanding(replicas)
+            return _fastest_decode(replicas)
+        if not known:
+            return _least_outstanding_tokens(replicas)
+        return _fastest_prefill(replicas, request.input_tokens)
+
+
+# Routers whose registry name accepts a ":N" token-threshold suffix.
+_PARAMETRIC_ROUTERS = {
+    "slo-aware": SloAwareRouter,
+    "hetero-aware": HeteroAwareRouter,
+}

@@ -29,6 +29,7 @@ Three pieces, all serving the million-request regime:
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 import time
 from typing import Callable, Iterable, Iterator, TextIO
@@ -184,7 +185,10 @@ def run_sharded_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
     Elastic features are rejected loudly: autoscaling and fault
     injection coordinate the *whole* fleet each decision interval,
     which a shard cannot see; silently sharding them would change
-    semantics, not just wall-clock.
+    semantics, not just wall-clock.  Explicit fleets shard only when
+    homogeneous — a one-group :class:`~repro.api.specs.FleetSpec`
+    flattens onto the legacy fields, a mixed fleet is rejected (its
+    capability-aware routing needs the whole-fleet view).
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
@@ -193,26 +197,31 @@ def run_sharded_cluster(deployment: DeploymentSpec, workload: WorkloadSpec,
             f"sharded cluster serving requires continuous batching, "
             f"got {deployment.batching!r}")
     if shards == 1:
-        from repro.api.facade import _device_for
-        from repro.cluster.engine import ClusterEngine
-        from repro.models.zoo import get_model
+        from repro.api.facade import build_cluster_engine
 
-        device = _device_for(deployment.chip_spec(), sim_cache,
-                             context_bucket)
-        engine = ClusterEngine(
-            device, get_model(deployment.model),
-            deployment.scheduler_limits(),
-            num_devices=deployment.num_devices,
-            replicas=deployment.replicas,
-            router=deployment.router,
-            fast_forward=sim_cache,
-            autoscale=deployment.autoscale,
-            prefix_cache=deployment.prefix_cache,
-            faults=deployment.faults,
-        )
+        engine = build_cluster_engine(deployment, sim_cache=sim_cache,
+                                      context_bucket=context_bucket)
         requests = workload.request_stream() if workload.streaming \
             else workload.build_requests()
         return engine.run(requests, max_sim_seconds=max_sim_seconds)
+    if deployment.fleet is not None:
+        if len(deployment.fleet.groups) > 1:
+            raise ValueError(
+                "sharding requires a homogeneous fleet: per-shard "
+                "routing cannot weigh groups it does not own, so a "
+                "mixed fleet would silently lose its capability-aware "
+                "placement — run the exact engine (shards=1) instead")
+        # a one-group fleet is the homogeneous case spelled explicitly;
+        # flatten it onto the legacy fields the shard workers build from
+        group = deployment.fleet.groups[0]
+        deployment = dataclasses.replace(
+            deployment, fleet=None,
+            chip=group.chip, model=group.model,
+            num_devices=group.num_devices, max_batch=group.max_batch,
+            prefill_chunk_tokens=group.prefill_chunk_tokens,
+            kv_budget_bytes=float("inf") if group.kv_budget_bytes is None
+            else group.kv_budget_bytes,
+            replicas=group.count)
     if deployment.replicas < shards:
         raise ValueError(
             f"cannot shard {deployment.replicas} replicas over {shards} "

@@ -171,6 +171,32 @@ def test_sharding_rejects_more_shards_than_replicas():
         run_sharded_cluster(DEPLOYMENT, WORKLOAD, shards=5)
 
 
+def test_sharding_rejects_heterogeneous_fleet():
+    from repro.api import FleetSpec, ReplicaGroupSpec
+
+    deployment = DeploymentSpec(
+        chip="ador", model="llama3-8b",
+        fleet=FleetSpec(groups=(
+            ReplicaGroupSpec(chip="ador", count=2),
+            ReplicaGroupSpec(chip="a100", count=2),
+        )))
+    with pytest.raises(ValueError, match="homogeneous fleet"):
+        run_sharded_cluster(deployment, WORKLOAD, shards=2)
+
+
+def test_sharding_flattens_one_group_fleet():
+    from repro.api import FleetSpec, ReplicaGroupSpec
+
+    explicit = DeploymentSpec(
+        chip="ador", model="llama3-8b",
+        fleet=FleetSpec(groups=(
+            ReplicaGroupSpec(chip="ador", count=DEPLOYMENT.replicas,
+                             max_batch=DEPLOYMENT.max_batch),)))
+    sharded = run_sharded_cluster(explicit, WORKLOAD, shards=2)
+    reference = run_sharded_cluster(DEPLOYMENT, WORKLOAD, shards=2)
+    assert cluster_fingerprint(sharded) == cluster_fingerprint(reference)
+
+
 def test_sharding_rejects_non_continuous_batching():
     deployment = DeploymentSpec(chip="ador", model="llama3-8b", replicas=4,
                                 batching="static")

@@ -557,6 +557,43 @@ class TestRegistryAndCliConsistency:
         assert list(choices) == live()
         assert list(choices) == sorted(choices)
 
+    def test_hetero_router_registered_and_in_cli_choices(self):
+        # the hetero-fleet additions ride the same registries the
+        # choices cross-check guards: the capability-aware router must
+        # be addressable from both serve and run
+        assert "hetero-aware" in list_routers()
+        assert "hetero-aware" in self._choices("serve", "--router")
+        assert "hetero-aware" in self._choices("run", "--router")
+
+    def test_group_flag_accepts_every_registered_chip(self):
+        # --group CHIP:COUNT has no closed argparse choices list (the
+        # value is composite), so its chip half must resolve against
+        # the live registry instead — same contract as --trace
+        from types import SimpleNamespace
+
+        from repro.cli import _fleet_spec
+
+        args = SimpleNamespace(
+            group=[f"{chip}:1" for chip in list_chips()],
+            replicas=1, chip=None, model="llama3-8b", devices=1,
+            max_batch=8, kv_budget_gb=None)
+        fleet = _fleet_spec(args)
+        assert [group.chip for group in fleet.groups] == list_chips()
+
+    def test_group_flag_rejects_unknown_chip_with_choices(self):
+        from types import SimpleNamespace
+
+        from repro.cli import _fleet_spec
+
+        args = SimpleNamespace(
+            group=["warp9:1"], replicas=1, chip=None,
+            model="llama3-8b", devices=1, max_batch=8,
+            kv_budget_gb=None)
+        with pytest.raises(ValueError) as excinfo:
+            _fleet_spec(args)
+        for chip in list_chips():
+            assert chip in str(excinfo.value)
+
     def test_trace_and_policy_defaults_resolve_in_registries(self):
         # --trace/--policy accept dynamic names (fixed-AxB), so they
         # carry no closed choices list; their defaults and every
